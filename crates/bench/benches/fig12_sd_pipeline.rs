@@ -1,0 +1,103 @@
+//! Fig. 12 — balancing the S-D pipeline: (a) on CPU, sweeping the split of
+//! threads between SparseNet and DenseNet; (b) across CPU+GPU, where each
+//! host-side step re-balances the accelerator side. Throughput first climbs
+//! (more parallel stages) then falls (unbalanced pipeline).
+
+use hercules_bench::{banner, bench_gradient, f, TableWriter};
+use hercules_core::eval::{CachedEvaluator, EvalContext};
+use hercules_core::search::gradient::{search_cpu_sd_pipeline, search_hybrid_sd};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_sim::{PlacementPlan, SlaSpec};
+
+fn main() {
+    banner("Fig. 12(a): CPU S-D pipeline balance, RMC1 on T2 (batch 256)");
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let sla = SlaSpec::p95(model.default_sla());
+    let mut ev = CachedEvaluator::new(
+        EvalContext::new(model.clone(), ServerType::T2.spec(), sla).quick(51),
+    );
+    let w = TableWriter::new(&[
+        ("Sparse x w", 11),
+        ("Dense", 6),
+        ("QPS", 8),
+        ("p95(ms)", 8),
+    ]);
+    for workers in [1u32, 2] {
+        for sparse in [2u32, 4, 6, 8] {
+            let dense = 20 - sparse * workers;
+            if dense == 0 || dense > 20 {
+                continue;
+            }
+            let plan = PlacementPlan::CpuSdPipeline {
+                sparse_threads: sparse,
+                sparse_workers: workers,
+                dense_threads: dense,
+                batch: 256,
+            };
+            match ev.evaluate(&plan) {
+                Some(e) => w.row(&[
+                    format!("{sparse}x{workers}"),
+                    dense.to_string(),
+                    f(e.qps.value(), 0),
+                    f(e.report.p95.as_millis_f64(), 1),
+                ]),
+                None => w.row(&[
+                    format!("{sparse}x{workers}"),
+                    dense.to_string(),
+                    "infeas".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    let sd_best = search_cpu_sd_pipeline(&mut ev, &bench_gradient()).best;
+    if let Some(b) = &sd_best {
+        println!();
+        println!("gradient equilibrium: {}  QPS={:.0}", b.plan, b.qps.value());
+    }
+
+    banner("Fig. 12(b): CPU-GPU S-D pipeline, RMC1 on T7");
+    let mut hev = CachedEvaluator::new(
+        EvalContext::new(model, ServerType::T7.spec(), sla).quick(52),
+    );
+    let w = TableWriter::new(&[
+        ("Host sparse", 12),
+        ("GPU g/F", 10),
+        ("QPS", 8),
+        ("p95(ms)", 8),
+    ]);
+    for sparse in [4u32, 8, 12, 16] {
+        for (g, fusion) in [(1u32, None), (2, Some(2000u32)), (3, Some(4000))] {
+            let plan = PlacementPlan::HybridSdPipeline {
+                sparse_threads: sparse,
+                sparse_workers: 1,
+                gpu_colocated: g,
+                fusion_limit: fusion,
+                batch: 256,
+            };
+            match hev.evaluate(&plan) {
+                Some(e) => w.row(&[
+                    format!("{sparse}x1"),
+                    format!("{g}/{}", fusion.map_or("off".into(), |v| v.to_string())),
+                    f(e.qps.value(), 0),
+                    f(e.report.p95.as_millis_f64(), 1),
+                ]),
+                None => w.row(&[
+                    format!("{sparse}x1"),
+                    format!("{g}/{}", fusion.map_or("off".into(), |v| v.to_string())),
+                    "infeas".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    let hy_best = search_hybrid_sd(&mut hev, &bench_gradient()).best;
+    if let Some(b) = &hy_best {
+        println!();
+        println!("gradient equilibrium: {}  QPS={:.0}", b.plan, b.qps.value());
+    }
+    println!();
+    println!("Paper shape: throughput rises while both stages gain parallelism, then falls");
+    println!("once the pipeline unbalances; GPU DenseNet is bounded by host SparseNet supply.");
+}

@@ -1,0 +1,79 @@
+//! Fig. 14 — SLA-aware task schedulers compared: the baseline (DeepRecSys
+//! on CPU + Baymax on accelerator) versus the Hercules task scheduler, for
+//! all six models on T2 (CPU), T3 (CPU+NMP), T7 (CPU+GPU), T8
+//! (CPU+NMP+GPU), across an SLA sweep.
+//!
+//! Paper bands: RMC1/2/3 gain 1.3–2.6x on CPU-centric servers (S-D
+//! pipelining + op-parallelism); compute-heavy models gain up to 9x on GPU
+//! servers (co-location + fusion).
+
+use hercules_bench::{banner, bench_gradient, f, speedup, TableWriter};
+use hercules_common::units::SimDuration;
+use hercules_core::eval::{CachedEvaluator, EvalContext};
+use hercules_core::search::baselines::baseline_search;
+use hercules_core::search::hercules_task_search;
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_sim::SlaSpec;
+
+fn main() {
+    banner("Fig. 14: baseline (DeepRecSys+Baymax) vs Hercules task scheduler");
+    let servers = [ServerType::T2, ServerType::T3, ServerType::T7, ServerType::T8];
+    let opts = bench_gradient();
+    let w = TableWriter::new(&[
+        ("Model", 10),
+        ("Server", 6),
+        ("SLA(ms)", 8),
+        ("Baseline", 9),
+        ("Hercules", 9),
+        ("Speedup", 8),
+        ("Best plan", 26),
+    ]);
+    for kind in ModelKind::ALL {
+        for &server in &servers {
+            let base_sla = RecModel::build(kind, ModelScale::Production).default_sla();
+            for mult in [1.0f64, 2.0] {
+                let sla_ms = base_sla.as_millis_f64() * mult;
+                let sla = SlaSpec::p95(SimDuration::from_millis_f64(sla_ms));
+                let model = RecModel::build(kind, ModelScale::Production);
+                let mut ev = CachedEvaluator::new(
+                    EvalContext::new(model, server.spec(), sla).quick(71),
+                );
+                let baseline = baseline_search(&mut ev, &opts.batch_levels).best;
+                let hercules = hercules_task_search(&mut ev, &opts).best;
+                match (baseline, hercules) {
+                    (Some(b), Some(h)) => w.row(&[
+                        kind.name().to_string(),
+                        format!("{server}"),
+                        f(sla_ms, 0),
+                        f(b.qps.value(), 0),
+                        f(h.qps.value(), 0),
+                        speedup(h.qps.value(), b.qps.value()),
+                        h.plan.label(),
+                    ]),
+                    (None, Some(h)) => w.row(&[
+                        kind.name().to_string(),
+                        format!("{server}"),
+                        f(sla_ms, 0),
+                        "infeas".into(),
+                        f(h.qps.value(), 0),
+                        "inf".into(),
+                        h.plan.label(),
+                    ]),
+                    _ => w.row(&[
+                        kind.name().to_string(),
+                        format!("{server}"),
+                        f(sla_ms, 0),
+                        "infeas".into(),
+                        "infeas".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]),
+                }
+            }
+        }
+    }
+    println!();
+    println!("Paper shape: Hercules >= baseline everywhere; biggest wins for multi-hot DLRMs");
+    println!("on CPU/NMP servers (S-D pipeline) and compute models on GPU servers (fusion).");
+}

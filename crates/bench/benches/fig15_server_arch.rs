@@ -1,0 +1,79 @@
+//! Fig. 15 — server-architecture exploration: normalized latency-bounded
+//! throughput and energy efficiency of all six models across T1–T10 at the
+//! paper's SLA targets (20/50/50/50/100/100 ms).
+//!
+//! Paper shape: NMP servers dominate the memory-bound DLRMs (RMC1/RMC2),
+//! GPU servers dominate the compute-bound models (RMC3, MT-WnD, DIN, DIEN),
+//! and NMP adds nothing but idle power for one-hot models.
+
+use hercules_bench::{banner, bench_profile, f, TableWriter};
+use hercules_core::profiler::Searcher;
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale};
+
+fn main() {
+    banner("Fig. 15: normalized QPS and QPS/W across T1-T10 (production scale)");
+    let table = bench_profile(
+        &ModelKind::ALL,
+        &ServerType::ALL,
+        ModelScale::Production,
+        Searcher::Hercules,
+    );
+
+    for metric in ["QPS", "QPS/W"] {
+        println!();
+        println!("--- normalized {metric} (per model, T2 = 1.00) ---");
+        let mut cols = vec![("Model", 10usize)];
+        for t in ServerType::ALL {
+            cols.push((t.into_static(), 6));
+        }
+        let w = TableWriter::new(&cols);
+        for kind in ModelKind::ALL {
+            let base = table.get(kind, ServerType::T2).map(|e| match metric {
+                "QPS" => e.qps.value(),
+                _ => e.qps_per_watt(),
+            });
+            let mut row = vec![kind.name().to_string()];
+            for t in ServerType::ALL {
+                let cell = match (table.get(kind, t), base) {
+                    (Some(e), Some(b)) if b > 0.0 => {
+                        let v = match metric {
+                            "QPS" => e.qps.value(),
+                            _ => e.qps_per_watt(),
+                        };
+                        f(v / b, 2)
+                    }
+                    (Some(_), _) => "?".into(),
+                    (None, _) => "-".into(),
+                };
+                row.push(cell);
+            }
+            w.row(&row);
+        }
+    }
+    println!();
+    println!("Paper shape: T3-T5 (NMP) lead RMC1/RMC2; T7 (V100) leads RMC3/MT-WnD/DIN/DIEN;");
+    println!("NMP rows show no QPS gain (and lower QPS/W) for one-hot MT-WnD/DIN/DIEN.");
+}
+
+/// Extension trait giving `ServerType` static names for table headers.
+trait StaticName {
+    fn into_static(self) -> &'static str;
+}
+
+impl StaticName for ServerType {
+    fn into_static(self) -> &'static str {
+        match self {
+            ServerType::T1 => "T1",
+            ServerType::T2 => "T2",
+            ServerType::T3 => "T3",
+            ServerType::T4 => "T4",
+            ServerType::T5 => "T5",
+            ServerType::T6 => "T6",
+            ServerType::T7 => "T7",
+            ServerType::T8 => "T8",
+            ServerType::T9 => "T9",
+            ServerType::T10 => "T10",
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 16 — model evolution: as load shifts linearly from DLRM-RMC1/2/3 to
+//! the more complex DIN/DIEN/MT-WnD, a CPU-only cluster must grow its
+//! capacity and provisioned power (paper: 2.27x capacity / 1.77x power at
+//! peak between snapshot days D1 and D2 one cycle-fifth apart; 5.4x / 3.54x
+//! over the full evolution); deploying accelerated servers recovers 22–52%.
+
+use hercules_bench::{banner, bench_profile, f, TableWriter};
+use hercules_common::units::Qps;
+use hercules_core::cluster::online::{evolution_traces, run_online};
+use hercules_core::cluster::policies::{HerculesScheduler, SolverChoice};
+use hercules_core::profiler::{EfficiencyTable, Searcher};
+use hercules_hw::server::{Fleet, ServerType};
+use hercules_model::zoo::{ModelKind, ModelScale};
+use hercules_workload::diurnal::DiurnalPattern;
+use hercules_workload::evolution::EvolutionSchedule;
+
+fn capacity_scaled_peak(table: &EfficiencyTable, fleet: &Fleet) -> f64 {
+    // Size the aggregate peak so the *hardest* mix (all-new models) stays
+    // within ~60% of the CPU-only fleet's capability.
+    let worst_model_qps = [ModelKind::Din, ModelKind::Dien, ModelKind::MtWnd]
+        .iter()
+        .map(|&m| {
+            ServerType::ALL
+                .iter()
+                .filter(|&&s| fleet.count(s) > 0)
+                .filter_map(|&s| table.get(m, s).map(|e| e.qps.value()))
+                .fold(0.0_f64, f64::max)
+        })
+        .fold(f64::INFINITY, f64::min);
+    0.6 * worst_model_qps * fleet.total() as f64
+}
+
+fn main() {
+    banner("Fig. 16: model evolution on the CPU-only cluster (T1+T2)");
+    let mut cpu_fleet = Fleet::empty();
+    cpu_fleet.set(ServerType::T1, 100).set(ServerType::T2, 100);
+
+    let cpu_servers = [ServerType::T1, ServerType::T2];
+    let table = bench_profile(
+        &ModelKind::ALL,
+        &cpu_servers,
+        ModelScale::Production,
+        Searcher::Hercules,
+    );
+
+    let schedule = EvolutionSchedule::paper();
+    let peak = capacity_scaled_peak(&table, &cpu_fleet);
+    let aggregate = DiurnalPattern::service_a(Qps(peak));
+    println!("aggregate diurnal peak sized to {peak:.0} QPS for the 200-server CPU fleet");
+    println!();
+
+    let w = TableWriter::new(&[
+        ("Day", 5),
+        ("New%", 5),
+        ("PeakSrv", 8),
+        ("AvgSrv", 7),
+        ("PeakPwr(kW)", 12),
+        ("AvgPwr(kW)", 11),
+        ("Infeas", 7),
+    ]);
+    let (d1, d2) = schedule.snapshot_days();
+    let mut snapshots = Vec::new();
+    for day in [0.0, 2.0, d1, d2, 8.0, 10.0] {
+        let traces = evolution_traces(&schedule, day, &aggregate, 60, 16);
+        let mut policy = HerculesScheduler::new(SolverChoice::BranchAndBound);
+        let r = run_online(&cpu_fleet, &table, &traces, &mut policy, Some(0.05));
+        w.row(&[
+            f(day, 1),
+            f(schedule.new_fraction(day) * 100.0, 0),
+            f(r.peak_activated(), 0),
+            f(r.avg_activated(), 0),
+            f(r.peak_power() / 1000.0, 2),
+            f(r.avg_power() / 1000.0, 2),
+            r.infeasible_intervals().to_string(),
+        ]);
+        if (day - d1).abs() < 1e-9 || (day - d2).abs() < 1e-9 {
+            snapshots.push((day, r));
+        }
+    }
+    if snapshots.len() == 2 {
+        let (_, ref ra) = snapshots[0];
+        let (_, ref rb) = snapshots[1];
+        println!();
+        println!(
+            "D2/D1 growth: capacity {:.2}x peak / {:.2}x avg; power {:.2}x peak / {:.2}x avg",
+            rb.peak_activated() / ra.peak_activated().max(1.0),
+            rb.avg_activated() / ra.avg_activated().max(1.0),
+            rb.peak_power() / ra.peak_power().max(1.0),
+            rb.avg_power() / ra.avg_power().max(1.0),
+        );
+        println!("(paper: 2.27x / 2.09x capacity, 1.77x / 1.64x power)");
+    }
+
+    banner("Fig. 16(b): accelerated servers (T3-T10) deployed at Day-D2");
+    // Same CPU base plus the accelerated types (the paper deploys T3-T10
+    // *into* the cluster); one consistent efficiency table for both runs.
+    let accel_table = bench_profile(
+        &ModelKind::ALL,
+        &ServerType::ALL,
+        ModelScale::Production,
+        Searcher::Hercules,
+    );
+    let mut accel_fleet = Fleet::table_ii();
+    accel_fleet.set(ServerType::T2, 100);
+    let traces = evolution_traces(&schedule, d2, &aggregate, 60, 16);
+    let mut policy = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let cpu_run = {
+        let mut p = HerculesScheduler::new(SolverChoice::BranchAndBound);
+        run_online(&cpu_fleet, &accel_table, &traces, &mut p, Some(0.05))
+    };
+    let accel_run = run_online(&accel_fleet, &accel_table, &traces, &mut policy, Some(0.05));
+    println!(
+        "CPU-only  : peak {:.2} kW, avg {:.2} kW",
+        cpu_run.peak_power() / 1000.0,
+        cpu_run.avg_power() / 1000.0
+    );
+    println!(
+        "Accelerated: peak {:.2} kW, avg {:.2} kW  (saving {:.0}% / {:.0}%)",
+        accel_run.peak_power() / 1000.0,
+        accel_run.avg_power() / 1000.0,
+        (1.0 - accel_run.peak_power() / cpu_run.peak_power()) * 100.0,
+        (1.0 - accel_run.avg_power() / cpu_run.avg_power()) * 100.0,
+    );
+    println!("(paper: 22-52% peak and 18-54% average provisioned-power saving)");
+}

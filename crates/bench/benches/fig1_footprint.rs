@@ -1,0 +1,38 @@
+//! Fig. 1 (left) — compute vs. memory footprint of the six models: average
+//! FLOPs and bytes per query, showing the memory-dominated (RMC1/RMC2) vs.
+//! compute-dominated (RMC3/MT-WnD/DIN/DIEN) regions.
+
+use hercules_bench::{banner, f, TableWriter};
+use hercules_model::stats::footprint;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+
+fn main() {
+    banner("Fig. 1(left): avg compute FLOPs vs avg memory bytes per query");
+    const ITEMS_PER_QUERY: u64 = 120; // mean of the Fig. 2b size distribution
+    let w = TableWriter::new(&[
+        ("Model", 10),
+        ("MFLOP/query", 12),
+        ("MB/query", 10),
+        ("FLOP/byte", 10),
+        ("Region", 18),
+    ]);
+    for kind in ModelKind::ALL {
+        let m = RecModel::build(kind, ModelScale::Production);
+        let fp = footprint(&m, ITEMS_PER_QUERY);
+        let intensity = fp.arithmetic_intensity();
+        let region = if intensity < 10.0 {
+            "memory-dominated"
+        } else {
+            "compute-dominated"
+        };
+        w.row(&[
+            kind.name().to_string(),
+            f(fp.flops_per_query / 1e6, 1),
+            f(fp.bytes_per_query / 1e6, 2),
+            f(intensity, 1),
+            region.to_string(),
+        ]);
+    }
+    println!();
+    println!("Expected shape (paper): RMC1/RMC2 lower-right (memory), MT-WnD/DIN/DIEN/RMC3 upper-left (compute).");
+}

@@ -1,0 +1,61 @@
+//! Fig. 5 — operator-worker utilization: latency breakdown of the six
+//! models (batch 256) with 1–4 parallel operator workers per inference
+//! thread. Operator dependencies (Predict-FC waits on Bottom-FC and the
+//! SparseNet) leave workers idle; the paper measures 25–74% idle at 2–4
+//! workers.
+
+use hercules_bench::{banner, f, TableWriter};
+use hercules_hw::cost::{cpu_batch_cost, CpuExecConfig};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+
+fn main() {
+    banner("Fig. 5: latency breakdown vs parallel operator workers (batch=256, T2)");
+    let server = ServerType::T2.spec();
+    let w = TableWriter::new(&[
+        ("Model", 10),
+        ("Workers", 8),
+        ("Sparse%", 8),
+        ("Dense%", 7),
+        ("Idle%", 6),
+        ("Latency(ms)", 12),
+    ]);
+    for kind in ModelKind::ALL {
+        let m = RecModel::build(kind, ModelScale::Production);
+        for workers in 1..=4u32 {
+            let cfg = CpuExecConfig {
+                server: &server,
+                workers,
+                colocated_threads: 4,
+                nmp: None,
+            };
+            let cost = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg);
+            let total_busy: f64 = cost
+                .per_op
+                .iter()
+                .map(|o| o.duration.as_secs_f64())
+                .sum();
+            let sparse_busy: f64 = cost
+                .per_op
+                .iter()
+                .filter(|o| o.sparse)
+                .map(|o| o.duration.as_secs_f64())
+                .sum();
+            let capacity = cost.latency.as_secs_f64() * workers as f64;
+            let sparse_pct = sparse_busy / capacity * 100.0;
+            let dense_pct = (total_busy - sparse_busy) / capacity * 100.0;
+            let idle_pct = cost.idle_fraction * 100.0;
+            w.row(&[
+                kind.name().to_string(),
+                workers.to_string(),
+                f(sparse_pct, 1),
+                f(dense_pct, 1),
+                f(idle_pct, 1),
+                f(cost.latency.as_millis_f64(), 2),
+            ]);
+        }
+    }
+    println!();
+    println!("Paper shape: idle% grows with workers for every model (25-74% at 2-4 workers);");
+    println!("latency still falls because independent SparseNet ops overlap.");
+}

@@ -1,0 +1,61 @@
+//! Fig. 6 — accelerator-side task scheduling policies on T7 (V100), small
+//! models: (1) DeepRecSys (no co-location, no fusion), (2) Baymax (model
+//! co-location only), (3) co-location + query fusion. The paper reports
+//! up to 2.95x/7.87x/6.0x throughput over Baymax for RMC3/MT-WnD/DIN.
+
+use hercules_bench::{banner, bench_gradient, f, speedup, TableWriter};
+use hercules_core::eval::{CachedEvaluator, EvalContext};
+use hercules_core::search::baselines::baymax_search;
+use hercules_core::search::gradient::search_gpu_model_based;
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_sim::{PlacementPlan, SlaSpec};
+
+fn main() {
+    banner("Fig. 6: GPU policies on T7 (small models)");
+    let w = TableWriter::new(&[
+        ("Model", 10),
+        ("DeepRecSys", 11),
+        ("Baymax", 9),
+        ("Co+Fusion", 10),
+        ("vs DRS", 8),
+        ("vs Baymax", 10),
+        ("DRS Q/W", 9),
+        ("Fus Q/W", 9),
+    ]);
+    for kind in [ModelKind::DlrmRmc3, ModelKind::MtWnd, ModelKind::Din] {
+        let model = RecModel::build(kind, ModelScale::Small);
+        let sla = SlaSpec::p95(model.default_sla());
+        let mut ev = CachedEvaluator::new(
+            EvalContext::new(model, ServerType::T7.spec(), sla).quick(61),
+        );
+        // (1) DeepRecSys: one instance, no fusion.
+        let drs = ev.evaluate(&PlacementPlan::GpuModel {
+            colocated: 1,
+            fusion_limit: None,
+            host_sparse_threads: 0,
+            host_batch: 256,
+        });
+        // (2) Baymax: co-location only.
+        let baymax = baymax_search(&mut ev, 8).best;
+        // (3) Hercules's combined exploration.
+        let fused = search_gpu_model_based(&mut ev, &bench_gradient()).best;
+        let (Some(d), Some(b), Some(fu)) = (drs, baymax, fused) else {
+            w.row(&[kind.name().into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        w.row(&[
+            kind.name().to_string(),
+            f(d.qps.value(), 0),
+            f(b.qps.value(), 0),
+            f(fu.qps.value(), 0),
+            speedup(fu.qps.value(), d.qps.value()),
+            speedup(fu.qps.value(), b.qps.value()),
+            f(d.qps_per_watt(), 2),
+            f(fu.qps_per_watt(), 2),
+        ]);
+    }
+    println!();
+    println!("Paper shape: co-location+fusion >> Baymax >= DeepRecSys on both QPS and QPS/W;");
+    println!("largest wins on the compute-dominated models (MT-WnD, DIN).");
+}

@@ -1,0 +1,54 @@
+//! Table I — state-of-the-art production-scale recommendation model
+//! configurations, regenerated from the model zoo.
+
+use hercules_bench::{banner, TableWriter};
+use hercules_model::table::PoolingSpec;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+
+fn main() {
+    banner("Table I: production-scale recommendation model configurations");
+    let w = TableWriter::new(&[
+        ("Model", 10),
+        ("#Embs", 6),
+        ("RowsMin", 9),
+        ("RowsMax", 9),
+        ("Pooling", 10),
+        ("EmbDim", 7),
+        ("DenseIn", 8),
+        ("Graph", 6),
+        ("Tables(GiB)", 12),
+        ("SLA(ms)", 8),
+    ]);
+    for kind in ModelKind::ALL {
+        let m = RecModel::build(kind, ModelScale::Production);
+        let rows_min = m.tables.iter().map(|t| t.rows).min().unwrap();
+        let rows_max = m.tables.iter().map(|t| t.rows).max().unwrap();
+        let pooling = match m.tables.iter().map(|t| t.pooling).next().unwrap() {
+            PoolingSpec::OneHot => "one-hot".to_string(),
+            PoolingSpec::MultiHot { min, max } => format!("{min}-{max}"),
+            PoolingSpec::Sequence { min, max } => format!("seq{min}-{max}"),
+        };
+        w.row(&[
+            kind.name().to_string(),
+            m.tables.len().to_string(),
+            format!("{:.1}M", rows_min as f64 / 1e6),
+            format!("{:.1}M", rows_max as f64 / 1e6),
+            pooling,
+            m.tables[0].dim.to_string(),
+            m.dense_in.to_string(),
+            m.graph.len().to_string(),
+            format!("{:.1}", m.total_table_size().as_gib_f64()),
+            format!("{:.0}", kind.default_sla().as_millis_f64()),
+        ]);
+    }
+    println!();
+    println!("(Small-scale variants fit a 16 GiB accelerator whole:)");
+    for kind in ModelKind::ALL {
+        let m = RecModel::build(kind, ModelScale::Small);
+        println!(
+            "  {:<10} {:6.2} GiB",
+            kind.name(),
+            m.total_table_size().as_gib_f64()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Table II — system parameters and configurations T1–T10.
+
+use hercules_bench::{banner, TableWriter};
+use hercules_hw::power::PowerModel;
+use hercules_hw::server::{Fleet, ServerType};
+
+fn main() {
+    banner("Table II: heterogeneous server architectures T1-T10");
+    let fleet = Fleet::table_ii();
+    let w = TableWriter::new(&[
+        ("Type", 5),
+        ("Nh", 4),
+        ("CPU", 22),
+        ("Cores", 6),
+        ("Memory", 12),
+        ("Cap(GiB)", 9),
+        ("GPU", 12),
+        ("TDP(W)", 7),
+        ("Idle(W)", 8),
+    ]);
+    for t in ServerType::ALL {
+        let s = t.spec();
+        let pm = PowerModel::new(&s);
+        w.row(&[
+            format!("{t}"),
+            fleet.count(t).to_string(),
+            s.cpu.name.to_string(),
+            s.cpu.cores.to_string(),
+            s.mem.name.to_string(),
+            format!("{:.0}", s.mem.capacity.as_gib_f64()),
+            s.gpu.as_ref().map_or("-".into(), |g| g.name.to_string()),
+            format!("{:.0}", s.total_tdp().value()),
+            format!("{:.0}", pm.idle_power().value()),
+        ]);
+    }
+    println!();
+    println!(
+        "NMP rank-level parallelism: T3/T8 = {} ranks, T4/T9 = {} ranks, T5/T10 = {} ranks",
+        ServerType::T3.spec().mem.total_ranks(),
+        ServerType::T4.spec().mem.total_ranks(),
+        ServerType::T5.spec().mem.total_ranks(),
+    );
+}

@@ -1,0 +1,135 @@
+//! Shared helpers for the per-figure bench targets.
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! the paper, printing the same rows/series the paper reports. The
+//! simulator replaces the authors' testbed, so absolute numbers differ;
+//! the *shape* (who wins, by what factor, where crossovers fall) is the
+//! reproduction target — see `EXPERIMENTS.md`.
+//!
+//! Fidelity control: set `HERCULES_BENCH_FAST=1` to cut search granularity
+//! further (useful on slow machines); output markers stay identical.
+
+use hercules_core::eval::{CachedEvaluator, EvalContext};
+use hercules_core::profiler::{EfficiencyTable, ProfilerConfig, Searcher};
+use hercules_core::search::gradient::GradientOptions;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_hw::server::ServerType;
+use hercules_sim::SlaSpec;
+
+/// Whether reduced-fidelity mode is requested.
+pub fn fast_mode() -> bool {
+    std::env::var("HERCULES_BENCH_FAST").map_or(false, |v| v == "1")
+}
+
+/// Gradient options for bench runs (coarse; coarser still in fast mode).
+pub fn bench_gradient() -> GradientOptions {
+    if fast_mode() {
+        GradientOptions {
+            batch_levels: vec![128, 512],
+            fusion_levels: vec![1024, 4096],
+            host_thread_levels: vec![8],
+            max_gpu_colocated: 4,
+        }
+    } else {
+        GradientOptions::coarse()
+    }
+}
+
+/// A quick evaluator for one (model-kind, scale, server, SLA) tuple.
+pub fn evaluator(
+    kind: ModelKind,
+    scale: ModelScale,
+    server: ServerType,
+    sla: SlaSpec,
+    seed: u64,
+) -> CachedEvaluator {
+    let model = RecModel::build(kind, scale);
+    CachedEvaluator::new(EvalContext::new(model, server.spec(), sla).quick(seed))
+}
+
+/// Profiles an efficiency table at bench fidelity.
+pub fn bench_profile(
+    models: &[ModelKind],
+    servers: &[ServerType],
+    scale: ModelScale,
+    searcher: Searcher,
+) -> EfficiencyTable {
+    let cfg = ProfilerConfig {
+        scale,
+        searcher,
+        gradient: bench_gradient(),
+        seed: 0xBEEF,
+        ..ProfilerConfig::quick()
+    };
+    hercules_core::profiler::profile(models, servers, &cfg)
+}
+
+/// Fixed-width row printer for paper-style tables.
+pub struct TableWriter {
+    widths: Vec<usize>,
+}
+
+impl TableWriter {
+    /// Creates a writer and prints the header.
+    pub fn new(columns: &[(&str, usize)]) -> Self {
+        let widths: Vec<usize> = columns.iter().map(|&(_, w)| w).collect();
+        let header: Vec<String> = columns
+            .iter()
+            .map(|&(name, w)| format!("{name:>w$}"))
+            .collect();
+        println!("{}", header.join("  "));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        TableWriter { widths }
+    }
+
+    /// Prints one row (cells are right-aligned to the column widths).
+    pub fn row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.widths.len(), "row arity mismatch");
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, &w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", padded.join("  "));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a speedup as `1.53x`.
+pub fn speedup(new: f64, old: f64) -> String {
+    if old <= 0.0 {
+        "n/a".into()
+    } else {
+        format!("{:.2}x", new / old)
+    }
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(speedup(300.0, 100.0), "3.00x");
+        assert_eq!(speedup(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn bench_gradient_levels_nonempty() {
+        let g = bench_gradient();
+        assert!(!g.batch_levels.is_empty());
+        assert!(!g.fusion_levels.is_empty());
+    }
+}

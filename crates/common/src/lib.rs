@@ -1,0 +1,29 @@
+//! # hercules-common
+//!
+//! Shared substrate for the Hercules reproduction: strongly-typed units,
+//! streaming statistics, and seeded probability distributions.
+//!
+//! Everything in this crate is deterministic given a seed: no wall-clock time,
+//! no global RNG. The simulator and schedulers build on these primitives.
+//!
+//! ```
+//! use hercules_common::units::{SimTime, SimDuration};
+//! use hercules_common::dist::{Distribution, LogNormal};
+//! use hercules_common::rng::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(42);
+//! let sizes = LogNormal::from_mean_p95(120.0, 400.0);
+//! let draw = sizes.sample(&mut rng);
+//! assert!(draw > 0.0);
+//!
+//! let t = SimTime::ZERO + SimDuration::from_millis(5);
+//! assert_eq!(t.as_nanos(), 5_000_000);
+//! ```
+
+pub mod dist;
+pub mod rng;
+pub mod stats;
+pub mod units;
+
+pub use rng::SimRng;
+pub use units::{Joules, MemBytes, Qps, SimDuration, SimTime, Watts};

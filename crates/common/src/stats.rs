@@ -1,0 +1,489 @@
+//! Streaming statistics for simulation metrics.
+//!
+//! The simulator reports tail latency (p95/p99), mean throughput, utilization,
+//! and power. [`StreamingStats`] tracks moments online (Welford),
+//! [`PercentileTracker`] keeps samples for exact quantiles (with optional
+//! reservoir subsampling for very long runs), and [`Histogram`] provides
+//! log-spaced buckets for printing paper-style distributions.
+
+use crate::rng::SimRng;
+
+/// Online mean/variance/min/max via Welford's algorithm.
+///
+/// ```
+/// use hercules_common::stats::StreamingStats;
+/// let mut s = StreamingStats::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { s.record(x); }
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.count(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact-quantile tracker with optional bounded-memory reservoir mode.
+///
+/// In exact mode every sample is retained; [`PercentileTracker::with_reservoir`]
+/// caps memory by uniform reservoir sampling (Vitter's Algorithm R), which
+/// keeps quantiles unbiased for long simulations.
+#[derive(Debug, Clone)]
+pub struct PercentileTracker {
+    samples: Vec<f64>,
+    capacity: Option<usize>,
+    seen: u64,
+    rng: Option<SimRng>,
+    sorted: bool,
+}
+
+impl PercentileTracker {
+    /// Creates an exact tracker (keeps all samples).
+    pub fn new() -> Self {
+        PercentileTracker {
+            samples: Vec::new(),
+            capacity: None,
+            seen: 0,
+            rng: None,
+            sorted: true,
+        }
+    }
+
+    /// Creates a reservoir tracker with at most `capacity` retained samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_reservoir(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        PercentileTracker {
+            samples: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+            seen: 0,
+            rng: Some(SimRng::seed_from(seed)),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.seen += 1;
+        match self.capacity {
+            None => {
+                self.samples.push(x);
+                self.sorted = false;
+            }
+            Some(cap) => {
+                if self.samples.len() < cap {
+                    self.samples.push(x);
+                    self.sorted = false;
+                } else {
+                    let rng = self.rng.as_mut().expect("reservoir tracker has rng");
+                    let j = rng.int_range(0, self.seen - 1) as usize;
+                    if j < cap {
+                        self.samples[j] = x;
+                        self.sorted = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of observations recorded (not retained).
+    pub fn count(&self) -> u64 {
+        self.seen
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`) using nearest-rank on retained
+    /// samples; `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// Convenience: the 50th percentile.
+    pub fn p50(&mut self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 95th percentile.
+    pub fn p95(&mut self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean of retained samples (equals true mean in exact mode).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+impl Default for PercentileTracker {
+    fn default() -> Self {
+        PercentileTracker::new()
+    }
+}
+
+/// A log-spaced histogram for printing distribution shapes.
+///
+/// Buckets are `[lo * ratio^i, lo * ratio^(i+1))`; values below `lo` land in
+/// the first bucket and values above the last edge land in the overflow
+/// bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` log-spaced buckets spanning
+    /// `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `buckets == 0`.
+    pub fn logarithmic(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "invalid histogram range [{lo}, {hi})");
+        assert!(buckets > 0, "need at least one bucket");
+        let ratio = (hi / lo).powf(1.0 / buckets as f64);
+        Histogram {
+            lo,
+            ratio,
+            counts: vec![0; buckets + 1], // +1 overflow
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        let idx = if x < self.lo {
+            0
+        } else {
+            let i = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+            i.min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over `(bucket_lo, bucket_hi, count)` triples, overflow last
+    /// (with `hi = f64::INFINITY`).
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        let n = self.counts.len();
+        (0..n).map(move |i| {
+            let lo = self.lo * self.ratio.powi(i as i32);
+            let hi = if i + 1 == n {
+                f64::INFINITY
+            } else {
+                self.lo * self.ratio.powi(i as i32 + 1)
+            };
+            (lo, hi, self.counts[i])
+        })
+    }
+}
+
+/// A time series of `(time_seconds, value)` pairs with peak/mean helpers.
+///
+/// Used for diurnal load curves and provisioned-power traces (Fig. 16/17).
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Appends a point; times should be non-decreasing.
+    pub fn push(&mut self, t_secs: f64, value: f64) {
+        debug_assert!(
+            self.points.last().map_or(true, |&(t, _)| t <= t_secs),
+            "time series must be appended in order"
+        );
+        self.points.push((t_secs, value));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest value, or `None` if empty.
+    pub fn peak(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Arithmetic mean of values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Point-wise binary operation with another series of identical times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn zip_with<F: Fn(f64, f64) -> f64>(&self, other: &TimeSeries, f: F) -> TimeSeries {
+        assert_eq!(self.len(), other.len(), "series length mismatch");
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .zip(&other.points)
+                .map(|(&(t, a), &(_, b))| (t, f(a, b)))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        TimeSeries {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_moments() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn streaming_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = StreamingStats::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn exact_percentiles() {
+        let mut t = PercentileTracker::new();
+        for i in 1..=100 {
+            t.record(i as f64);
+        }
+        assert_eq!(t.quantile(0.0), Some(1.0));
+        assert_eq!(t.p50(), Some(50.0));
+        assert_eq!(t.p95(), Some(95.0));
+        assert_eq!(t.p99(), Some(99.0));
+        assert_eq!(t.quantile(1.0), Some(100.0));
+        assert_eq!(t.count(), 100);
+    }
+
+    #[test]
+    fn reservoir_tracks_quantiles_approximately() {
+        let mut t = PercentileTracker::with_reservoir(1_000, 42);
+        for i in 0..100_000 {
+            t.record((i % 1000) as f64);
+        }
+        assert_eq!(t.count(), 100_000);
+        let p50 = t.p50().unwrap();
+        assert!((p50 - 500.0).abs() < 60.0, "p50 {p50}");
+    }
+
+    #[test]
+    fn empty_tracker_returns_none() {
+        let mut t = PercentileTracker::new();
+        assert!(t.is_empty());
+        assert_eq!(t.p99(), None);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let mut h = Histogram::logarithmic(10.0, 1000.0, 4);
+        for x in [5.0, 10.0, 99.0, 999.0, 5000.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 5);
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets.len(), 5);
+        let total: u64 = buckets.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 5);
+        // Overflow bucket holds the 5000.0 observation.
+        assert_eq!(buckets.last().unwrap().2, 1);
+    }
+
+    #[test]
+    fn time_series_peak_mean_zip() {
+        let a: TimeSeries = vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)].into_iter().collect();
+        assert_eq!(a.peak(), Some(3.0));
+        assert_eq!(a.mean(), Some(2.0));
+        let b: TimeSeries = vec![(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)].into_iter().collect();
+        let sum = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(sum.points()[1], (1.0, 4.0));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,705 @@
+//! The four cluster schedulers compared in the paper:
+//!
+//! - [`NhScheduler`]: heterogeneity-oblivious — random server types.
+//! - [`GreedyScheduler`]: heterogeneity-aware greedy (Paragon/Quasar [8],
+//!   [9] style) — always the best-ranked available type, but competing
+//!   workloads split contended types arbitrarily.
+//! - [`PriorityScheduler`]: §III-C's priority-aware refinement — contended
+//!   types go to the workload with the most to lose.
+//! - [`HerculesScheduler`]: the constrained-optimization provisioner of
+//!   Eq. (1)–(3), solved by interior point (+ rounding repair) or
+//!   branch-and-bound.
+
+use hercules_common::rng::SimRng;
+use hercules_hw::server::ServerType;
+use hercules_solver::{
+    solve_ilp, solve_interior_point, solve_simplex, IlpOptions, LinearProgram, LpStatus, Relation,
+};
+
+use crate::cluster::{Allocation, ProvisionError, ProvisionRequest, Provisioner};
+use crate::profiler::RankMetric;
+
+/// Remaining capacity tracker shared by the list-based policies.
+struct CapacityPool {
+    left: Vec<(ServerType, u32)>,
+}
+
+impl CapacityPool {
+    fn new(req: &ProvisionRequest<'_>) -> Self {
+        CapacityPool {
+            left: req.fleet.iter().collect(),
+        }
+    }
+
+    fn available(&self, stype: ServerType) -> u32 {
+        self.left
+            .iter()
+            .find(|&&(s, _)| s == stype)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    fn take(&mut self, stype: ServerType) -> bool {
+        for entry in self.left.iter_mut() {
+            if entry.0 == stype && entry.1 > 0 {
+                entry.1 -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn deficit(req: &ProvisionRequest<'_>, alloc: &Allocation, w: usize) -> f64 {
+    req.target(w) - alloc.served_qps(req.table, req.workloads, w)
+}
+
+/// The heterogeneity-oblivious scheduler: assigns *random* available server
+/// types to each workload until its load is met.
+#[derive(Debug)]
+pub struct NhScheduler {
+    rng: SimRng,
+}
+
+impl NhScheduler {
+    /// Creates the scheduler with a seed (allocation is randomized).
+    pub fn new(seed: u64) -> Self {
+        NhScheduler {
+            rng: SimRng::seed_from(seed),
+        }
+    }
+}
+
+impl Provisioner for NhScheduler {
+    fn name(&self) -> &'static str {
+        "NH"
+    }
+
+    fn provision(&mut self, req: &ProvisionRequest<'_>) -> Result<Allocation, ProvisionError> {
+        let mut pool = CapacityPool::new(req);
+        let mut alloc = Allocation::new();
+        for (w, &model) in req.workloads.iter().enumerate() {
+            while deficit(req, &alloc, w) > 0.0 {
+                // Pick uniformly over the remaining *servers* (so plentiful
+                // commodity types dominate, as in a truly random assignment).
+                let total: u32 = ServerType::ALL
+                    .iter()
+                    .filter(|&&s| req.table.get(model, s).is_some())
+                    .map(|&s| pool.available(s))
+                    .sum();
+                if total == 0 {
+                    return Err(ProvisionError::InsufficientCapacity { workload: model });
+                }
+                let mut pick_idx = self.rng.index(total as usize) as u32;
+                let mut picked = None;
+                for &s in ServerType::ALL.iter() {
+                    if req.table.get(model, s).is_none() {
+                        continue;
+                    }
+                    let avail = pool.available(s);
+                    if pick_idx < avail {
+                        picked = Some(s);
+                        break;
+                    }
+                    pick_idx -= avail;
+                }
+                let pick = picked.expect("total > 0 guarantees a pick");
+                pool.take(pick);
+                alloc.add(pick, w, 1);
+            }
+        }
+        Ok(alloc)
+    }
+}
+
+/// The heterogeneity-aware greedy scheduler of [8], [9]: each step gives one
+/// best-ranked available server to a randomly-chosen unmet workload —
+/// faithful to the paper's observation that greedy "randomly divides the
+/// highest-ranked servers" among competing workloads.
+#[derive(Debug)]
+pub struct GreedyScheduler {
+    rng: SimRng,
+    metric: RankMetric,
+}
+
+impl GreedyScheduler {
+    /// Creates the scheduler ranking by `metric`.
+    pub fn new(seed: u64, metric: RankMetric) -> Self {
+        GreedyScheduler {
+            rng: SimRng::seed_from(seed),
+            metric,
+        }
+    }
+}
+
+impl Provisioner for GreedyScheduler {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn provision(&mut self, req: &ProvisionRequest<'_>) -> Result<Allocation, ProvisionError> {
+        let mut pool = CapacityPool::new(req);
+        let mut alloc = Allocation::new();
+        loop {
+            let unmet: Vec<usize> = (0..req.workloads.len())
+                .filter(|&w| deficit(req, &alloc, w) > 0.0)
+                .collect();
+            if unmet.is_empty() {
+                return Ok(alloc);
+            }
+            let w = unmet[self.rng.index(unmet.len())];
+            let model = req.workloads[w];
+            let best = req
+                .table
+                .ranked_servers(model, self.metric)
+                .into_iter()
+                .find(|&(s, _)| pool.available(s) > 0);
+            match best {
+                Some((s, _)) => {
+                    pool.take(s);
+                    alloc.add(s, w, 1);
+                }
+                None => {
+                    return Err(ProvisionError::InsufficientCapacity { workload: model });
+                }
+            }
+        }
+    }
+}
+
+/// §III-C's priority-aware scheduler: each step allocates one server to the
+/// unmet workload with the largest *marginal efficiency gain* from its best
+/// available type (so contended accelerators go where they help most).
+#[derive(Debug)]
+pub struct PriorityScheduler {
+    metric: RankMetric,
+}
+
+impl PriorityScheduler {
+    /// Creates the scheduler ranking by `metric`.
+    pub fn new(metric: RankMetric) -> Self {
+        PriorityScheduler { metric }
+    }
+}
+
+impl Provisioner for PriorityScheduler {
+    fn name(&self) -> &'static str {
+        "Priority"
+    }
+
+    fn provision(&mut self, req: &ProvisionRequest<'_>) -> Result<Allocation, ProvisionError> {
+        let mut pool = CapacityPool::new(req);
+        let mut alloc = Allocation::new();
+        loop {
+            // For each unmet workload: its best available type and the gain
+            // over its next-best alternative.
+            let mut best_pick: Option<(usize, ServerType, f64)> = None;
+            let mut any_unmet = None;
+            for (w, &model) in req.workloads.iter().enumerate() {
+                if deficit(req, &alloc, w) <= 0.0 {
+                    continue;
+                }
+                any_unmet = Some(model);
+                let ranked: Vec<(ServerType, f64)> = req
+                    .table
+                    .ranked_servers(model, self.metric)
+                    .into_iter()
+                    .filter(|&(s, _)| pool.available(s) > 0)
+                    .collect();
+                let Some(&(first, first_score)) = ranked.first() else {
+                    return Err(ProvisionError::InsufficientCapacity { workload: model });
+                };
+                let second_score = ranked.get(1).map_or(0.0, |&(_, sc)| sc);
+                let gain = first_score - second_score;
+                if best_pick.as_ref().map_or(true, |&(_, _, g)| gain > g) {
+                    best_pick = Some((w, first, gain));
+                }
+            }
+            match (best_pick, any_unmet) {
+                (Some((w, s, _)), _) => {
+                    pool.take(s);
+                    alloc.add(s, w, 1);
+                }
+                (None, None) => return Ok(alloc),
+                (None, Some(model)) => {
+                    return Err(ProvisionError::InsufficientCapacity { workload: model })
+                }
+            }
+        }
+    }
+}
+
+/// LP/ILP engine for [`HerculesScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Branch-and-bound over the simplex relaxation (exact integral optimum).
+    BranchAndBound,
+    /// Interior-point relaxation (the paper's solver [12]) with ceil
+    /// rounding and greedy repair/trim.
+    InteriorPointRounded,
+}
+
+/// The Hercules provisioner: minimizes total provisioned power subject to
+/// per-workload load satisfaction and per-type capacity (Eq. 1–3).
+#[derive(Debug)]
+pub struct HerculesScheduler {
+    solver: SolverChoice,
+}
+
+impl HerculesScheduler {
+    /// Creates the scheduler with the chosen optimizer.
+    pub fn new(solver: SolverChoice) -> Self {
+        HerculesScheduler { solver }
+    }
+
+    /// Builds the Eq. (1)–(3) program. Variables are the pairs `(h, m)`
+    /// with a feasible efficiency entry, in a fixed order.
+    fn build_lp(
+        req: &ProvisionRequest<'_>,
+    ) -> Result<(LinearProgram, Vec<(ServerType, usize)>), ProvisionError> {
+        let mut vars: Vec<(ServerType, usize)> = Vec::new();
+        for (w, &model) in req.workloads.iter().enumerate() {
+            let mut any = false;
+            for (stype, _) in req.fleet.iter() {
+                if req.table.get(model, stype).is_some() {
+                    vars.push((stype, w));
+                    any = true;
+                }
+            }
+            if !any {
+                return Err(ProvisionError::NoServerFor { workload: model });
+            }
+        }
+        let cost: Vec<f64> = vars
+            .iter()
+            .map(|&(s, w)| {
+                req.table
+                    .get(req.workloads[w], s)
+                    .expect("vars are feasible pairs")
+                    .power
+                    .value()
+            })
+            .collect();
+        let n = cost.len();
+        let mut lp = LinearProgram::minimize(cost);
+        // Eq. (2): per-workload throughput >= load x (1 + R).
+        for (w, _) in req.workloads.iter().enumerate() {
+            let mut row = vec![0.0; n];
+            for (j, &(s, wj)) in vars.iter().enumerate() {
+                if wj == w {
+                    row[j] = req
+                        .table
+                        .get(req.workloads[w], s)
+                        .expect("feasible pair")
+                        .qps
+                        .value();
+                }
+            }
+            lp.constrain(row, Relation::Ge, req.target(w));
+        }
+        // Eq. (3): per-type activation <= availability.
+        for (stype, cap) in req.fleet.iter() {
+            let mut row = vec![0.0; n];
+            let mut used = false;
+            for (j, &(s, _)) in vars.iter().enumerate() {
+                if s == stype {
+                    row[j] = 1.0;
+                    used = true;
+                }
+            }
+            if used {
+                lp.constrain(row, Relation::Le, cap as f64);
+            }
+        }
+        Ok((lp, vars))
+    }
+
+    fn allocation_from(
+        x: &[f64],
+        vars: &[(ServerType, usize)],
+    ) -> Allocation {
+        let mut alloc = Allocation::new();
+        for (j, &(s, w)) in vars.iter().enumerate() {
+            let n = x[j].round().max(0.0) as u32;
+            alloc.add(s, w, n);
+        }
+        alloc
+    }
+
+    /// Turns a fractional relaxation into a feasible integral allocation:
+    /// floor the relaxation (clamping to capacity), greedily fill remaining
+    /// deficits with the most power-efficient available types, then trim
+    /// overshoot.
+    fn round_and_repair(
+        req: &ProvisionRequest<'_>,
+        x: &[f64],
+        vars: &[(ServerType, usize)],
+    ) -> Result<Allocation, ProvisionError> {
+        let mut counts: Vec<u32> = x.iter().map(|&v| v.max(0.0).floor() as u32).collect();
+
+        let build = |counts: &[u32]| {
+            let mut a = Allocation::new();
+            for (j, &(s, w)) in vars.iter().enumerate() {
+                a.add(s, w, counts[j]);
+            }
+            a
+        };
+
+        // Flooring cannot exceed capacity unless the relaxation itself did
+        // (it can, marginally, through solver tolerance): clamp per type.
+        for (stype, cap) in req.fleet.iter() {
+            loop {
+                let used: u32 = vars
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(s, _))| s == stype)
+                    .map(|(j, _)| counts[j])
+                    .sum();
+                if used <= cap {
+                    break;
+                }
+                let j = vars
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, &(s, _))| s == stype && counts[j] > 0)
+                    .map(|(j, _)| j)
+                    .next()
+                    .expect("used > 0 implies a positive count");
+                counts[j] -= 1;
+            }
+        }
+
+        // Greedy fill: cover each workload's remaining deficit with the
+        // lowest watts-per-QPS available type.
+        for (w, &model) in req.workloads.iter().enumerate() {
+            loop {
+                let alloc = build(&counts);
+                let short = req.target(w) - alloc.served_qps(req.table, req.workloads, w);
+                if short <= 1e-9 {
+                    break;
+                }
+                let mut best: Option<(usize, f64)> = None;
+                for (j, &(s, wj)) in vars.iter().enumerate() {
+                    if wj != w {
+                        continue;
+                    }
+                    let used = alloc.activated_of_type(s);
+                    if used >= req.fleet.count(s) {
+                        continue;
+                    }
+                    let e = req.table.get(model, s).expect("feasible pair");
+                    let watts_per_qps = e.power.value() / e.qps.value().max(1e-9);
+                    if best.as_ref().map_or(true, |&(_, b)| watts_per_qps < b) {
+                        best = Some((j, watts_per_qps));
+                    }
+                }
+                match best {
+                    Some((j, _)) => counts[j] += 1,
+                    None => {
+                        return Err(ProvisionError::InsufficientCapacity { workload: model })
+                    }
+                }
+            }
+        }
+
+        // Trim: drop any server whose removal keeps its workload satisfied
+        // (undo ceil overshoot), most power-hungry first.
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_by(|&a, &b| {
+            let pa = req.table.get(req.workloads[vars[a].1], vars[a].0).expect("feasible").power;
+            let pb = req.table.get(req.workloads[vars[b].1], vars[b].0).expect("feasible").power;
+            pb.partial_cmp(&pa).expect("finite power")
+        });
+        loop {
+            let alloc = build(&counts);
+            let mut trimmed = false;
+            for &j in &order {
+                if counts[j] == 0 {
+                    continue;
+                }
+                let (s, w) = vars[j];
+                let qps = req
+                    .table
+                    .get(req.workloads[w], s)
+                    .expect("feasible pair")
+                    .qps
+                    .value();
+                let slack = alloc.served_qps(req.table, req.workloads, w) - req.target(w);
+                if slack - qps >= -1e-9 {
+                    counts[j] -= 1;
+                    trimmed = true;
+                    break;
+                }
+            }
+            if !trimmed {
+                break;
+            }
+        }
+
+        let alloc = build(&counts);
+        if alloc.satisfies(req) {
+            Ok(alloc)
+        } else {
+            Err(ProvisionError::InsufficientCapacity {
+                workload: req.workloads[0],
+            })
+        }
+    }
+}
+
+impl Provisioner for HerculesScheduler {
+    fn name(&self) -> &'static str {
+        "Hercules"
+    }
+
+    fn provision(&mut self, req: &ProvisionRequest<'_>) -> Result<Allocation, ProvisionError> {
+        let (lp, vars) = Self::build_lp(req)?;
+        match self.solver {
+            SolverChoice::BranchAndBound => {
+                // Seed branch-and-bound with the rounding heuristic: its
+                // objective becomes the initial upper bound (collapsing the
+                // tree on 60-variable Day-D2 instances) and its allocation
+                // the fallback if the node cap trips first.
+                let relax = solve_simplex(&lp);
+                if relax.status == LpStatus::Infeasible {
+                    return Err(ProvisionError::InsufficientCapacity {
+                        workload: req.workloads[0],
+                    });
+                }
+                let heuristic = if relax.status == LpStatus::Optimal {
+                    Self::round_and_repair(req, &relax.x, &vars).ok()
+                } else {
+                    None
+                };
+                let opts = IlpOptions {
+                    max_nodes: 8_000,
+                    upper_bound: heuristic
+                        .as_ref()
+                        .map(|a| a.provisioned_power(req.table, req.workloads).value()),
+                };
+                let sol = solve_ilp(&lp, &opts);
+                let exact = match sol.status {
+                    LpStatus::Optimal | LpStatus::IterationLimit if !sol.x.is_empty() => {
+                        let alloc = Self::allocation_from(&sol.x, &vars);
+                        alloc.satisfies(req).then_some(alloc)
+                    }
+                    _ => None,
+                };
+                let best = match (exact, heuristic) {
+                    (Some(a), Some(b)) => {
+                        let pa = a.provisioned_power(req.table, req.workloads);
+                        let pb = b.provisioned_power(req.table, req.workloads);
+                        Some(if pa.value() <= pb.value() { a } else { b })
+                    }
+                    (a, b) => a.or(b),
+                };
+                best.ok_or(ProvisionError::InsufficientCapacity {
+                    workload: req.workloads[0],
+                })
+            }
+            SolverChoice::InteriorPointRounded => {
+                let relax = solve_interior_point(&lp);
+                let relax = if relax.status == LpStatus::Optimal {
+                    relax
+                } else {
+                    // The paper's interior-point solver occasionally needs a
+                    // fallback on degenerate inputs; simplex is exact.
+                    let s = solve_simplex(&lp);
+                    if s.status != LpStatus::Optimal {
+                        return Err(match s.status {
+                            LpStatus::Infeasible => ProvisionError::InsufficientCapacity {
+                                workload: req.workloads[0],
+                            },
+                            _ => ProvisionError::SolverFailure,
+                        });
+                    }
+                    s
+                };
+                Self::round_and_repair(req, &relax.x, &vars)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{EfficiencyEntry, EfficiencyTable};
+    use hercules_common::units::{Qps, Watts};
+    use hercules_hw::server::Fleet;
+    use hercules_model::zoo::ModelKind;
+    use hercules_sim::PlacementPlan;
+
+    fn entry(qps: f64, power: f64) -> EfficiencyEntry {
+        EfficiencyEntry {
+            qps: Qps(qps),
+            power: Watts(power),
+            plan: PlacementPlan::CpuModel {
+                threads: 1,
+                workers: 1,
+                batch: 64,
+            },
+        }
+    }
+
+    /// The §III-C scenario: two workloads, CPU/NMP/GPU servers; NMP is the
+    /// best for both but much better for RMC2.
+    fn scenario() -> (Fleet, EfficiencyTable, Vec<ModelKind>) {
+        let mut fleet = Fleet::empty();
+        fleet
+            .set(ServerType::T2, 70)
+            .set(ServerType::T3, 15)
+            .set(ServerType::T7, 5);
+        let table = EfficiencyTable::from_entries([
+            // RMC1: NMP 1.75x QPS/W over CPU; GPU between.
+            ((ModelKind::DlrmRmc1, ServerType::T2), entry(1000.0, 250.0)), // 4.0 QPS/W
+            ((ModelKind::DlrmRmc1, ServerType::T3), entry(1960.0, 280.0)), // 7.0
+            ((ModelKind::DlrmRmc1, ServerType::T7), entry(3000.0, 600.0)), // 5.0
+            // RMC2: NMP 2.04x over CPU.
+            ((ModelKind::DlrmRmc2, ServerType::T2), entry(700.0, 250.0)), // 2.8
+            ((ModelKind::DlrmRmc2, ServerType::T3), entry(1600.0, 280.0)), // 5.7
+            ((ModelKind::DlrmRmc2, ServerType::T7), entry(2100.0, 600.0)), // 3.5
+        ]);
+        (fleet, table, vec![ModelKind::DlrmRmc1, ModelKind::DlrmRmc2])
+    }
+
+    fn request<'a>(
+        fleet: &'a Fleet,
+        table: &'a EfficiencyTable,
+        workloads: &'a [ModelKind],
+        loads: &'a [f64],
+    ) -> ProvisionRequest<'a> {
+        ProvisionRequest {
+            fleet,
+            table,
+            workloads,
+            loads,
+            over_provision: 0.0,
+        }
+    }
+
+    #[test]
+    fn all_policies_satisfy_feasible_loads() {
+        let (fleet, table, workloads) = scenario();
+        let loads = [20_000.0, 15_000.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let mut policies: Vec<Box<dyn Provisioner>> = vec![
+            Box::new(NhScheduler::new(1)),
+            Box::new(GreedyScheduler::new(2, RankMetric::QpsPerWatt)),
+            Box::new(PriorityScheduler::new(RankMetric::QpsPerWatt)),
+            Box::new(HerculesScheduler::new(SolverChoice::BranchAndBound)),
+            Box::new(HerculesScheduler::new(SolverChoice::InteriorPointRounded)),
+        ];
+        for p in policies.iter_mut() {
+            let alloc = p.provision(&req).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            assert!(alloc.satisfies(&req), "{} allocation invalid", p.name());
+        }
+    }
+
+    #[test]
+    fn hercules_dominates_greedy_and_nh() {
+        // The paper's ordering: NH >= greedy >= Hercules on provisioned
+        // power (§VI-C).
+        let (fleet, table, workloads) = scenario();
+        let loads = [30_000.0, 25_000.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let nh = NhScheduler::new(7).provision(&req).unwrap();
+        let greedy = GreedyScheduler::new(7, RankMetric::QpsPerWatt)
+            .provision(&req)
+            .unwrap();
+        let hercules = HerculesScheduler::new(SolverChoice::BranchAndBound)
+            .provision(&req)
+            .unwrap();
+        let p = |a: &Allocation| a.provisioned_power(&table, &workloads).value();
+        assert!(
+            p(&hercules) <= p(&greedy) + 1e-6,
+            "hercules {} vs greedy {}",
+            p(&hercules),
+            p(&greedy)
+        );
+        assert!(
+            p(&greedy) <= p(&nh) + 1e-6,
+            "greedy {} vs nh {}",
+            p(&greedy),
+            p(&nh)
+        );
+    }
+
+    #[test]
+    fn hercules_priority_arbitration() {
+        // Contended NMP servers should go to RMC2 (larger efficiency gap).
+        // With loads sized so NMP can cover only one workload, Hercules
+        // must give T3 predominantly to RMC2.
+        let (fleet, table, workloads) = scenario();
+        let loads = [15_000.0, 20_000.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let alloc = HerculesScheduler::new(SolverChoice::BranchAndBound)
+            .provision(&req)
+            .unwrap();
+        let t3_rmc2 = alloc.count(ServerType::T3, 1);
+        let t3_rmc1 = alloc.count(ServerType::T3, 0);
+        assert!(
+            t3_rmc2 >= t3_rmc1,
+            "NMP to RMC2: got RMC1={t3_rmc1}, RMC2={t3_rmc2}"
+        );
+    }
+
+    #[test]
+    fn interior_point_matches_bnb_closely() {
+        let (fleet, table, workloads) = scenario();
+        let loads = [25_000.0, 18_000.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let bnb = HerculesScheduler::new(SolverChoice::BranchAndBound)
+            .provision(&req)
+            .unwrap();
+        let ipm = HerculesScheduler::new(SolverChoice::InteriorPointRounded)
+            .provision(&req)
+            .unwrap();
+        let pb = bnb.provisioned_power(&table, &workloads).value();
+        let pi = ipm.provisioned_power(&table, &workloads).value();
+        assert!(pi >= pb - 1e-6, "rounded can't beat exact");
+        assert!(pi <= 1.10 * pb, "rounding within 10%: {pi} vs {pb}");
+    }
+
+    #[test]
+    fn infeasible_loads_error() {
+        let (fleet, table, workloads) = scenario();
+        let loads = [1e9, 1e9];
+        let req = request(&fleet, &table, &workloads, &loads);
+        for p in [
+            &mut NhScheduler::new(1) as &mut dyn Provisioner,
+            &mut GreedyScheduler::new(1, RankMetric::QpsPerWatt),
+            &mut PriorityScheduler::new(RankMetric::QpsPerWatt),
+            &mut HerculesScheduler::new(SolverChoice::BranchAndBound),
+        ] {
+            assert!(p.provision(&req).is_err(), "{} must fail", p.name());
+        }
+    }
+
+    #[test]
+    fn workload_without_servers_errors() {
+        let (fleet, table, _) = scenario();
+        let workloads = [ModelKind::Dien];
+        let loads = [100.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let err = HerculesScheduler::new(SolverChoice::BranchAndBound)
+            .provision(&req)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProvisionError::NoServerFor {
+                workload: ModelKind::Dien
+            }
+        );
+    }
+
+    #[test]
+    fn zero_load_zero_allocation() {
+        let (fleet, table, workloads) = scenario();
+        let loads = [0.0, 0.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let alloc = HerculesScheduler::new(SolverChoice::BranchAndBound)
+            .provision(&req)
+            .unwrap();
+        assert_eq!(alloc.activated_total(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Scheduling-candidate evaluation: one point of the parallelism space →
+//! `(QPS, tail latency, power)` via the simulator (paper Fig. 9a's
+//! "Inference Executor" + "Measured Tail-Latency, QPS, Power" loop).
+
+use std::collections::HashMap;
+
+use hercules_common::units::{Qps, Watts};
+use hercules_hw::server::ServerSpec;
+use hercules_model::zoo::RecModel;
+use hercules_sim::{
+    max_qps_under_sla, PlacementPlan, SearchOptions, SimConfig, SimReport, SlaSpec,
+};
+
+/// The outcome of evaluating one scheduling configuration at its
+/// latency-bounded operating point.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The evaluated configuration.
+    pub plan: PlacementPlan,
+    /// Latency-bounded throughput (`QPS_{h,m}` candidate).
+    pub qps: Qps,
+    /// Peak power at the operating point (`Power_{h,m}` candidate, the
+    /// provisioned power budget).
+    pub power: Watts,
+    /// Full simulation report at the knee.
+    pub report: SimReport,
+}
+
+impl Evaluation {
+    /// Energy efficiency at the operating point.
+    pub fn qps_per_watt(&self) -> f64 {
+        if self.power.value() <= 0.0 {
+            0.0
+        } else {
+            self.qps.value() / self.power.value()
+        }
+    }
+}
+
+/// Evaluation context shared by a search: model, server, constraints, and
+/// simulation fidelity.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// The workload.
+    pub model: RecModel,
+    /// The server architecture.
+    pub server: ServerSpec,
+    /// SLA latency constraint.
+    pub sla: SlaSpec,
+    /// Optional provisioned-power ceiling (the online-serving constraint;
+    /// offline profiling leaves it `None`).
+    pub power_cap: Option<Watts>,
+    /// Simulation controls.
+    pub sim: SimConfig,
+    /// Rate-search controls.
+    pub search: SearchOptions,
+}
+
+impl EvalContext {
+    /// A context with default fidelity and no power cap.
+    pub fn new(model: RecModel, server: ServerSpec, sla: SlaSpec) -> Self {
+        EvalContext {
+            model,
+            server,
+            sla,
+            power_cap: None,
+            sim: SimConfig::default(),
+            search: SearchOptions::default(),
+        }
+    }
+
+    /// Same context with reduced fidelity for fast sweeps.
+    pub fn quick(mut self, seed: u64) -> Self {
+        self.sim = SimConfig::quick(seed);
+        self.search.refine_iters = 4;
+        self.search.target_queries = Some(2_500);
+        self
+    }
+}
+
+/// A memoizing evaluator over [`PlacementPlan`]s.
+///
+/// Infeasible plans (structurally invalid, SLA-unreachable, or over the
+/// power cap) evaluate to `None`; results are cached so a search revisiting
+/// a configuration pays nothing.
+pub struct CachedEvaluator {
+    ctx: EvalContext,
+    cache: HashMap<PlacementPlan, Option<Evaluation>>,
+    evaluations: usize,
+}
+
+impl CachedEvaluator {
+    /// Creates an evaluator for `ctx`.
+    pub fn new(ctx: EvalContext) -> Self {
+        CachedEvaluator {
+            ctx,
+            cache: HashMap::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// The context.
+    pub fn ctx(&self) -> &EvalContext {
+        &self.ctx
+    }
+
+    /// Number of *distinct* simulator-backed evaluations performed (the
+    /// search-cost metric; cache hits are free).
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Evaluates `plan`, returning `None` when infeasible under the
+    /// context's constraints.
+    pub fn evaluate(&mut self, plan: &PlacementPlan) -> Option<Evaluation> {
+        if let Some(hit) = self.cache.get(plan) {
+            return hit.clone();
+        }
+        self.evaluations += 1;
+        let out = self.evaluate_uncached(plan);
+        self.cache.insert(*plan, out.clone());
+        out
+    }
+
+    fn evaluate_uncached(&self, plan: &PlacementPlan) -> Option<Evaluation> {
+        let outcome = max_qps_under_sla(
+            &self.ctx.model,
+            &self.ctx.server,
+            plan,
+            &self.ctx.sla,
+            &self.ctx.sim,
+            &self.ctx.search,
+        )
+        .ok()??;
+        let power = outcome.report.peak_power;
+        if let Some(cap) = self.ctx.power_cap {
+            if power > cap {
+                return None;
+            }
+        }
+        Some(Evaluation {
+            plan: *plan,
+            qps: outcome.qps,
+            power,
+            report: outcome.report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_common::units::SimDuration;
+    use hercules_hw::server::ServerType;
+    use hercules_model::zoo::{ModelKind, ModelScale};
+
+    fn quick_ctx() -> EvalContext {
+        EvalContext::new(
+            RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production),
+            ServerType::T2.spec(),
+            SlaSpec::p95(SimDuration::from_millis(40)),
+        )
+        .quick(5)
+    }
+
+    #[test]
+    fn evaluates_and_caches() {
+        let mut ev = CachedEvaluator::new(quick_ctx());
+        let plan = PlacementPlan::CpuModel {
+            threads: 10,
+            workers: 2,
+            batch: 256,
+        };
+        let a = ev.evaluate(&plan).expect("feasible plan");
+        assert!(a.qps.value() > 0.0);
+        assert!(a.power.value() > 0.0);
+        assert_eq!(ev.evaluations(), 1);
+        let b = ev.evaluate(&plan).expect("cached");
+        assert_eq!(ev.evaluations(), 1, "second call hits the cache");
+        assert_eq!(a.qps, b.qps);
+    }
+
+    #[test]
+    fn structural_infeasibility_is_none() {
+        let mut ev = CachedEvaluator::new(quick_ctx());
+        let plan = PlacementPlan::CpuModel {
+            threads: 40,
+            workers: 1,
+            batch: 256,
+        };
+        assert!(ev.evaluate(&plan).is_none());
+    }
+
+    #[test]
+    fn power_cap_rejects() {
+        let mut ctx = quick_ctx();
+        ctx.power_cap = Some(Watts(1.0)); // nothing runs under 1 W
+        let mut ev = CachedEvaluator::new(ctx);
+        let plan = PlacementPlan::CpuModel {
+            threads: 10,
+            workers: 2,
+            batch: 256,
+        };
+        assert!(ev.evaluate(&plan).is_none());
+    }
+}

@@ -1,0 +1,507 @@
+//! Roofline cost model: operator latency and per-batch stage cost on CPUs,
+//! GPUs, and NMP-enabled memory.
+//!
+//! The simulator folds an entire partition stage (graph + device + batch
+//! size + op-workers + co-location level) into one [`BatchCost`]; the
+//! discrete-event layer then only schedules batch-level events. Operator
+//! dependency effects are preserved because the fold runs the
+//! [`crate::schedule::list_schedule`] pass internally.
+
+use hercules_common::units::{Joules, SimDuration};
+use hercules_model::graph::Graph;
+use hercules_model::op::OpKind;
+use hercules_model::table::EmbeddingTableSpec;
+
+use crate::calib;
+use crate::device::GpuSpec;
+use crate::nmp::NmpLutSet;
+use crate::schedule::list_schedule;
+use crate::server::ServerSpec;
+
+/// Execution context for one CPU inference thread.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuExecConfig<'a> {
+    /// The host server.
+    pub server: &'a ServerSpec,
+    /// Operator workers (physical cores) owned by this thread (`o`).
+    pub workers: u32,
+    /// Co-located inference threads on the socket (`m`), including this one.
+    pub colocated_threads: u32,
+    /// NMP lookup tables when the server has NMP memory (routes reduced
+    /// sparse lookups to the DIMM-side units).
+    pub nmp: Option<&'a NmpLutSet>,
+}
+
+/// Execution context for one GPU inference thread (model co-location via
+/// MPS-style sharing).
+#[derive(Debug, Clone, Copy)]
+pub struct GpuExecConfig<'a> {
+    /// The accelerator.
+    pub gpu: &'a GpuSpec,
+    /// Co-located model instances sharing the GPU.
+    pub colocated: u32,
+}
+
+/// Per-operator slice of a batch timeline (Fig. 5 breakdowns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpTiming {
+    /// Operator label (`"FC"`, `"SLS"`, ...).
+    pub label: &'static str,
+    /// Whether the op belongs to the SparseNet.
+    pub sparse: bool,
+    /// Execution duration.
+    pub duration: SimDuration,
+}
+
+/// Cost of executing one batch through one stage (sub)graph.
+#[derive(Debug, Clone)]
+pub struct BatchCost {
+    /// End-to-end stage latency for the batch (list-scheduled makespan on
+    /// CPU; serialized kernel stream on GPU).
+    pub latency: SimDuration,
+    /// Total core-busy time (CPU) across this thread's workers.
+    pub busy_core_time: SimDuration,
+    /// Idle fraction of the thread's workers over the makespan.
+    pub idle_fraction: f64,
+    /// Bytes crossing the DRAM channel (NMP keeps gathered rows on-DIMM and
+    /// only pooled outputs cross).
+    pub channel_bytes: f64,
+    /// On-DIMM NMP energy for this batch.
+    pub nmp_energy: Joules,
+    /// GPU busy time for this batch (zero on CPU).
+    pub gpu_busy: SimDuration,
+    /// Achieved GPU utilization during `gpu_busy` (zero on CPU).
+    pub gpu_util: f64,
+    /// Per-op timings in scheduling order.
+    pub per_op: Vec<OpTiming>,
+}
+
+/// Latency of one operator on one CPU operator worker.
+///
+/// Roofline: `overhead + max(compute, memory)` where compute runs on a
+/// single core derated by GEMM efficiency and LLC interference, and memory
+/// bandwidth is the per-core limit or the fair share of the socket's
+/// gather/stream bandwidth, whichever binds.
+pub fn cpu_op_latency(
+    op: &OpKind,
+    batch: u64,
+    tables: &[EmbeddingTableSpec],
+    cfg: &CpuExecConfig<'_>,
+) -> SimDuration {
+    let c = op.cost(batch, tables);
+    let threads = cfg.colocated_threads.max(1);
+
+    let compute_rate = cfg.server.cpu.core_peak_flops()
+        * calib::CPU_GEMM_EFFICIENCY
+        * calib::llc_interference_factor(threads);
+    let compute_s = c.flops / compute_rate;
+
+    let mem_s = match nmp_route(op, tables, cfg) {
+        Some((spec, per_item_accesses)) => {
+            let accesses = per_item_accesses * batch;
+            let set = cfg.nmp.expect("nmp_route only fires with a LUT set");
+            let est = set.estimate(spec.dim * 4, accesses);
+            // Co-located threads share the NMP subsystem fairly.
+            let local_s = est.latency.as_secs_f64() * threads as f64;
+            // Only pooled outputs + indices cross the channel.
+            let out_bytes = batch as f64 * spec.dim as f64 * 4.0 + accesses as f64 * 8.0;
+            let chan_bw = cfg.server.mem.peak_bw_gbs * 1e9 * calib::DDR_STREAM_EFFICIENCY
+                / threads as f64;
+            local_s.max(out_bytes / chan_bw)
+        }
+        None => {
+            let (eff, per_core_gbs) = if c.random_access {
+                (calib::DDR_GATHER_EFFICIENCY, calib::PER_CORE_GATHER_GBS)
+            } else {
+                (calib::DDR_STREAM_EFFICIENCY, calib::PER_CORE_STREAM_GBS)
+            };
+            // Concurrent bandwidth streams: each co-located thread keeps
+            // roughly one memory stream in flight; extra op workers within a
+            // thread overlap only about half their gathers with each other
+            // (the rest overlaps dense compute), so they count at half
+            // weight. This keeps aggregate demand consistent with the socket
+            // limit while letting op-parallelism shorten a thread's
+            // SparseNet phase.
+            let streams = (threads as f64 * (1.0 + 0.5 * (cfg.workers.saturating_sub(1)) as f64))
+                .clamp(1.0, cfg.server.cpu.cores as f64);
+            let bw = (per_core_gbs * 1e9)
+                .min(cfg.server.mem.peak_bw_gbs * 1e9 * eff / streams);
+            c.total_bytes() / bw
+        }
+    };
+
+    let mut overhead_s = calib::CPU_OP_OVERHEAD_US * 1e-6;
+    if c.serial_steps > 1 {
+        overhead_s += c.serial_steps as f64 * calib::CPU_SERIAL_STEP_US * 1e-6;
+    }
+
+    SimDuration::from_secs_f64(overhead_s + compute_s.max(mem_s))
+}
+
+/// If `op` is NMP-eligible under `cfg` (a *reduced* sparse lookup on NMP
+/// memory — one-hot/unreduced gathers see no benefit, §VI-B), returns the
+/// table spec and access count.
+fn nmp_route<'t>(
+    op: &OpKind,
+    tables: &'t [EmbeddingTableSpec],
+    cfg: &CpuExecConfig<'_>,
+) -> Option<(&'t EmbeddingTableSpec, u64)> {
+    let _set = cfg.nmp?;
+    if let OpKind::SparseLookup { table, reduce: true } = *op {
+        let spec = &tables[table.index()];
+        Some((spec, spec.avg_pooling() as u64))
+    } else {
+        None
+    }
+}
+
+/// Cost of one batch through a stage graph on a CPU inference thread.
+///
+/// Operators are list-scheduled across the thread's `workers`; the makespan
+/// is the batch latency.
+///
+/// # Panics
+///
+/// Panics if `cfg.workers == 0` or the graph is cyclic.
+pub fn cpu_batch_cost(
+    graph: &Graph,
+    batch: u64,
+    tables: &[EmbeddingTableSpec],
+    cfg: &CpuExecConfig<'_>,
+) -> BatchCost {
+    let durations: Vec<SimDuration> = graph
+        .nodes()
+        .map(|(_, n)| cpu_op_latency(&n.op, batch, tables, cfg))
+        .collect();
+    let schedule = list_schedule(graph, cfg.workers, |id| durations[id.index()]);
+
+    let mut channel_bytes = 0.0;
+    let mut nmp_energy = Joules::ZERO;
+    for (_, n) in graph.nodes() {
+        let c = n.op.cost(batch, tables);
+        match nmp_route(&n.op, tables, cfg) {
+            Some((spec, per_item_accesses)) => {
+                let accesses = per_item_accesses * batch;
+                let set = cfg.nmp.expect("route implies set");
+                let est = set.estimate(spec.dim * 4, accesses);
+                nmp_energy += est.energy;
+                channel_bytes += batch as f64 * spec.dim as f64 * 4.0 + accesses as f64 * 8.0;
+            }
+            None => channel_bytes += c.total_bytes(),
+        }
+    }
+
+    let per_op = schedule
+        .ops
+        .iter()
+        .map(|s| {
+            let node = graph.node(s.node);
+            OpTiming {
+                label: node.op.label(),
+                sparse: node.op.is_sparse(),
+                duration: s.duration,
+            }
+        })
+        .collect();
+
+    BatchCost {
+        latency: schedule.makespan,
+        busy_core_time: schedule.busy,
+        idle_fraction: schedule.idle_fraction(),
+        channel_bytes,
+        nmp_energy,
+        gpu_busy: SimDuration::ZERO,
+        gpu_util: 0.0,
+        per_op,
+    }
+}
+
+/// Latency of one operator on a GPU thread.
+///
+/// Compute rate saturates with batch ([`calib::gpu_batch_utilization`]) and
+/// is shared across co-located contexts; recurrent ops pay a per-step kernel
+/// launch, which is why GPUs need large fused batches for DIEN.
+pub fn gpu_op_latency(
+    op: &OpKind,
+    batch: u64,
+    tables: &[EmbeddingTableSpec],
+    cfg: &GpuExecConfig<'_>,
+) -> SimDuration {
+    let c = op.cost(batch, tables);
+    let k = cfg.colocated.max(1) as f64;
+    let u = calib::gpu_batch_utilization(batch);
+    let colocation_drag = 1.0 + calib::GPU_COLOCATION_OVERHEAD * (k - 1.0);
+
+    // Effective share: full utilization-limited rate until co-located demand
+    // oversubscribes the device, then a fair 1/k share.
+    let share = u.min(1.0 / k);
+    let compute_rate =
+        cfg.gpu.peak_tflops * 1e12 * calib::GPU_GEMM_EFFICIENCY * share / colocation_drag;
+    let compute_s = c.flops / compute_rate;
+
+    // Memory saturates at much smaller batches than compute.
+    let u_mem = (batch as f64) / (batch as f64 + 64.0);
+    let mem_eff = if c.random_access {
+        calib::GPU_GATHER_EFFICIENCY
+    } else {
+        0.80
+    };
+    let mem_share = u_mem.min(1.0 / k);
+    let bw = cfg.gpu.hbm_bw_gbs * 1e9 * mem_eff * mem_share / colocation_drag / u_mem.max(1e-9);
+    let mem_s = c.total_bytes() / bw;
+
+    let launches = c.serial_steps.max(1) as f64;
+    let overhead_s = launches * calib::GPU_KERNEL_OVERHEAD_US * 1e-6;
+
+    SimDuration::from_secs_f64(overhead_s + compute_s.max(mem_s))
+}
+
+/// Cost of one batch through a stage graph on a GPU thread.
+///
+/// Kernels within one inference thread serialize on its stream
+/// (op-parallelism is CPU-only, §II-B), so the latency is the sum of
+/// operator latencies.
+pub fn gpu_batch_cost(
+    graph: &Graph,
+    batch: u64,
+    tables: &[EmbeddingTableSpec],
+    cfg: &GpuExecConfig<'_>,
+) -> BatchCost {
+    let mut latency = SimDuration::ZERO;
+    let mut per_op = Vec::with_capacity(graph.len());
+    let mut channel_bytes = 0.0;
+    for (_, n) in graph.nodes() {
+        let d = gpu_op_latency(&n.op, batch, tables, cfg);
+        latency += d;
+        channel_bytes += n.op.cost(batch, tables).total_bytes();
+        per_op.push(OpTiming {
+            label: n.op.label(),
+            sparse: n.op.is_sparse(),
+            duration: d,
+        });
+    }
+    let k = cfg.colocated.max(1) as f64;
+    let u = calib::gpu_batch_utilization(batch);
+    BatchCost {
+        latency,
+        busy_core_time: SimDuration::ZERO,
+        idle_fraction: 0.0,
+        channel_bytes,
+        nmp_energy: Joules::ZERO,
+        gpu_busy: latency,
+        gpu_util: (u * k).min(1.0),
+        per_op,
+    }
+}
+
+/// Host-to-device transfer time for `bytes` over PCIe with `contenders`
+/// concurrently-loading threads.
+pub fn pcie_transfer_time(bytes: f64, gpu: &GpuSpec, contenders: u32) -> SimDuration {
+    let k = contenders.max(1) as f64;
+    let bw = gpu.pcie_bw_gbs * 1e9 * calib::PCIE_EFFICIENCY / k;
+    SimDuration::from_secs_f64(calib::PCIE_SETUP_US * 1e-6 + bytes / bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nmp::NmpLutSet;
+    use crate::server::ServerType;
+    use hercules_model::partition::sparse_dense;
+    use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+
+    fn t2() -> ServerSpec {
+        ServerType::T2.spec()
+    }
+
+    fn rmc1() -> RecModel {
+        RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production)
+    }
+
+    #[test]
+    fn cpu_latency_grows_with_batch() {
+        let server = t2();
+        let cfg = CpuExecConfig {
+            server: &server,
+            workers: 1,
+            colocated_threads: 1,
+            nmp: None,
+        };
+        let m = rmc1();
+        let small = cpu_batch_cost(&m.graph, 16, &m.tables, &cfg);
+        let large = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg);
+        assert!(large.latency > small.latency);
+        // Per-item latency shrinks: batching amortizes op overheads.
+        let per_item_small = small.latency.as_secs_f64() / 16.0;
+        let per_item_large = large.latency.as_secs_f64() / 256.0;
+        assert!(per_item_large < per_item_small);
+    }
+
+    #[test]
+    fn colocation_slows_each_thread() {
+        let server = t2();
+        let m = rmc1();
+        let solo = CpuExecConfig {
+            server: &server,
+            workers: 1,
+            colocated_threads: 1,
+            nmp: None,
+        };
+        let crowded = CpuExecConfig {
+            server: &server,
+            workers: 1,
+            colocated_threads: 20,
+            nmp: None,
+        };
+        let a = cpu_batch_cost(&m.graph, 128, &m.tables, &solo);
+        let b = cpu_batch_cost(&m.graph, 128, &m.tables, &crowded);
+        assert!(b.latency > a.latency, "co-location must cost latency");
+    }
+
+    #[test]
+    fn op_workers_cut_makespan_for_wide_sparsenet() {
+        let server = t2();
+        let m = rmc1();
+        let one = CpuExecConfig {
+            server: &server,
+            workers: 1,
+            colocated_threads: 10,
+            nmp: None,
+        };
+        let two = CpuExecConfig {
+            server: &server,
+            workers: 2,
+            colocated_threads: 10,
+            nmp: None,
+        };
+        let c1 = cpu_batch_cost(&m.graph, 256, &m.tables, &one);
+        let c2 = cpu_batch_cost(&m.graph, 256, &m.tables, &two);
+        assert!(c2.latency < c1.latency, "2 workers overlap SLS ops");
+        assert!(c2.idle_fraction > c1.idle_fraction, "but idle appears");
+    }
+
+    #[test]
+    fn nmp_accelerates_reduced_sls_only() {
+        let server3 = ServerType::T3.spec();
+        let m = rmc1();
+        let sd = sparse_dense(&m);
+        let luts = NmpLutSet::standard(server3.mem.total_ranks());
+        let plain = CpuExecConfig {
+            server: &server3,
+            workers: 1,
+            colocated_threads: 4,
+            nmp: None,
+        };
+        let nmp = CpuExecConfig {
+            server: &server3,
+            workers: 1,
+            colocated_threads: 4,
+            nmp: Some(&luts),
+        };
+        let base = cpu_batch_cost(&sd.sparse, 256, &m.tables, &plain);
+        let accel = cpu_batch_cost(&sd.sparse, 256, &m.tables, &nmp);
+        assert!(
+            accel.latency < base.latency,
+            "NMP should speed up gather-reduce: {} vs {}",
+            accel.latency,
+            base.latency
+        );
+        assert!(accel.channel_bytes < base.channel_bytes);
+        assert!(accel.nmp_energy.value() > 0.0);
+
+        // One-hot models gain nothing (MT-WnD lookups don't reduce).
+        let wnd = RecModel::build(ModelKind::MtWnd, ModelScale::Production);
+        let sd_wnd = sparse_dense(&wnd);
+        let b2 = cpu_batch_cost(&sd_wnd.sparse, 256, &wnd.tables, &plain);
+        let a2 = cpu_batch_cost(&sd_wnd.sparse, 256, &wnd.tables, &nmp);
+        assert_eq!(a2.latency, b2.latency, "one-hot sees no NMP benefit");
+    }
+
+    #[test]
+    fn more_nmp_ranks_faster() {
+        let m = rmc1();
+        let sd = sparse_dense(&m);
+        let mk = |stype: ServerType| {
+            let server = stype.spec();
+            let luts = NmpLutSet::standard(server.mem.total_ranks());
+            let cfg = CpuExecConfig {
+                server: &server,
+                workers: 1,
+                colocated_threads: 8,
+                nmp: Some(&luts),
+            };
+            cpu_batch_cost(&sd.sparse, 512, &m.tables, &cfg).latency
+        };
+        let x2 = mk(ServerType::T3);
+        let x4 = mk(ServerType::T4);
+        let x8 = mk(ServerType::T5);
+        assert!(x4 < x2);
+        assert!(x8 < x4);
+    }
+
+    #[test]
+    fn gpu_fusion_improves_per_item_latency() {
+        let gpu = crate::device::GPU_V100;
+        let cfg = GpuExecConfig {
+            gpu: &gpu,
+            colocated: 1,
+        };
+        let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Small);
+        let small = gpu_batch_cost(&m.graph, 64, &m.tables, &cfg);
+        let fused = gpu_batch_cost(&m.graph, 4096, &m.tables, &cfg);
+        let per_small = small.latency.as_secs_f64() / 64.0;
+        let per_fused = fused.latency.as_secs_f64() / 4096.0;
+        assert!(
+            per_fused < per_small / 4.0,
+            "fusion amortizes: {per_small:.2e} vs {per_fused:.2e}"
+        );
+        assert!(fused.gpu_util > small.gpu_util);
+    }
+
+    #[test]
+    fn gpu_colocation_increases_aggregate_utilization() {
+        let gpu = crate::device::GPU_V100;
+        let m = RecModel::build(ModelKind::MtWnd, ModelScale::Small);
+        let solo = gpu_batch_cost(
+            &m.graph,
+            256,
+            &m.tables,
+            &GpuExecConfig { gpu: &gpu, colocated: 1 },
+        );
+        let co4 = gpu_batch_cost(
+            &m.graph,
+            256,
+            &m.tables,
+            &GpuExecConfig { gpu: &gpu, colocated: 4 },
+        );
+        assert!(co4.gpu_util > solo.gpu_util);
+        // Each context is not much slower while the GPU is undersubscribed.
+        let slowdown = co4.latency.as_secs_f64() / solo.latency.as_secs_f64();
+        assert!(slowdown < 2.0, "undersubscribed co-location cheap: {slowdown}");
+    }
+
+    #[test]
+    fn gru_pays_serial_kernel_launches() {
+        let gpu = crate::device::GPU_V100;
+        let cfg = GpuExecConfig {
+            gpu: &gpu,
+            colocated: 1,
+        };
+        let dien = RecModel::build(ModelKind::Dien, ModelScale::Small);
+        let din = RecModel::build(ModelKind::Din, ModelScale::Small);
+        let a = gpu_batch_cost(&dien.graph, 8, &dien.tables, &cfg);
+        let b = gpu_batch_cost(&din.graph, 8, &din.tables, &cfg);
+        // At tiny batch the GRU's per-step launches dominate.
+        assert!(a.latency.as_secs_f64() > b.latency.as_secs_f64() + 2e-3);
+    }
+
+    #[test]
+    fn pcie_contention_scales_transfer() {
+        let gpu = crate::device::GPU_V100;
+        let t1 = pcie_transfer_time(8e6, &gpu, 1);
+        let t4 = pcie_transfer_time(8e6, &gpu, 4);
+        assert!(t4 > t1.mul_f64(2.5));
+        // Setup cost floors tiny transfers.
+        assert!(pcie_transfer_time(1.0, &gpu, 1) >= SimDuration::from_micros(12));
+    }
+}

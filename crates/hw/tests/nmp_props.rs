@@ -1,0 +1,64 @@
+//! Property tests on the NMP cycle-level simulator and its LUTs.
+
+use proptest::prelude::*;
+
+use hercules_hw::nmp::{NmpConfig, NmpLut, NmpLutSet, NmpSimulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// More ranks never increase latency; energy is rank-independent (the
+    /// same accesses happen, just in parallel).
+    #[test]
+    fn ranks_monotone(
+        accesses in 1u64..200_000,
+        row_pow in 6u32..9, // 64..512 B rows
+        r1 in 1u32..33,
+        r2 in 1u32..33,
+    ) {
+        let row_bytes = 1u32 << row_pow;
+        let (lo, hi) = (r1.min(r2), r1.max(r2));
+        prop_assume!(lo < hi);
+        let a = NmpSimulator::new(NmpConfig::with_ranks(lo)).gather_reduce(accesses, row_bytes);
+        let b = NmpSimulator::new(NmpConfig::with_ranks(hi)).gather_reduce(accesses, row_bytes);
+        prop_assert!(b.latency <= a.latency, "{} ranks {} vs {} ranks {}", hi, b.latency, lo, a.latency);
+        prop_assert!((a.energy.value() - b.energy.value()).abs() < 1e-12);
+    }
+
+    /// Latency is monotone in access count and row width.
+    #[test]
+    fn workload_monotone(
+        a1 in 1u64..100_000,
+        a2 in 1u64..100_000,
+        ranks in 2u32..17,
+    ) {
+        let (lo, hi) = (a1.min(a2), a1.max(a2));
+        prop_assume!(lo < hi);
+        let sim = NmpSimulator::new(NmpConfig::with_ranks(ranks));
+        prop_assert!(sim.gather_reduce(lo, 128).latency <= sim.gather_reduce(hi, 128).latency);
+        prop_assert!(sim.gather_reduce(lo, 64).latency <= sim.gather_reduce(lo, 256).latency);
+    }
+
+    /// The LUT is a faithful interpolation: within 10% of the simulator at
+    /// arbitrary access counts (exact at grid points).
+    #[test]
+    fn lut_tracks_simulator(accesses in 2u64..2_000_000, ranks in 2u32..17) {
+        let cfg = NmpConfig::with_ranks(ranks);
+        let lut = NmpLut::build(&cfg, 128);
+        let sim = NmpSimulator::new(cfg);
+        let direct = sim.gather_reduce(accesses, 128).latency.as_secs_f64();
+        let cached = lut.lookup(accesses).latency.as_secs_f64();
+        prop_assume!(direct > 0.0);
+        let err = (cached - direct).abs() / direct;
+        prop_assert!(err < 0.10, "LUT error {err:.3} at {accesses} accesses");
+    }
+
+    /// The LUT set serves any row width with non-zero estimates.
+    #[test]
+    fn lut_set_total(width in 1u32..2048, accesses in 1u64..100_000) {
+        let set = NmpLutSet::standard(8);
+        let est = set.estimate(width, accesses);
+        prop_assert!(est.latency.as_nanos() > 0);
+        prop_assert!(est.energy.value() > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hercules-model
+//!
+//! Recommendation-model computation graphs, the Table-I model zoo, and
+//! HW-aware model partitioning for the Hercules reproduction.
+//!
+//! A [`zoo::RecModel`] bundles a computation [`graph::Graph`] of
+//! [`op::OpKind`] operators with its [`table::EmbeddingTableSpec`]s. The
+//! scheduler either launches the whole graph (`Gm`, *model-based
+//! scheduling*) or splits it with [`partition::sparse_dense`] /
+//! [`partition::hot_partition`] (*S-D pipeline scheduling* and accelerator
+//! hot-embedding offload, paper Fig. 10).
+//!
+//! ```
+//! use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+//! use hercules_model::partition::sparse_dense;
+//!
+//! let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+//! let parts = sparse_dense(&model);
+//! assert_eq!(parts.sparse.len(), 10); // one SLS per embedding table
+//! assert!(model.total_table_size().as_gib_f64() > 1.0);
+//! ```
+
+pub mod fusion;
+pub mod graph;
+pub mod op;
+pub mod partition;
+pub mod stats;
+pub mod table;
+pub mod zoo;
+
+pub use graph::{Graph, GraphError, NodeId};
+pub use op::{Activation, OpCost, OpKind};
+pub use table::{EmbeddingTableSpec, PoolingSpec, TableId};
+pub use zoo::{ModelKind, ModelScale, RecModel};

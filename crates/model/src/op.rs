@@ -1,0 +1,381 @@
+//! Recommendation-model operators and their resource-cost accounting.
+//!
+//! Every operator knows its arithmetic intensity: FLOPs executed and bytes
+//! moved for a given batch size. The hardware crate turns these into latency
+//! via a roofline model; [`OpCost::random_access`] flags gather-style traffic
+//! that achieves a lower fraction of peak DRAM bandwidth, and
+//! [`OpCost::serial_steps`] captures intra-operator sequential dependences
+//! (RNN time steps) that cap parallel speedup.
+
+use crate::table::{EmbeddingTableSpec, TableId};
+
+/// Activation functions that may terminate an FC layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid (used on prediction heads).
+    Sigmoid,
+}
+
+/// The operator set required by the six Table-I models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Fully-connected layer `[batch, in_dim] x [in_dim, out_dim]`.
+    ///
+    /// `fused_activation` is populated by the operator-fusion pass
+    /// (element-wise epilogue executed in-register, saving one intermediate
+    /// round trip to memory).
+    Fc {
+        /// Input feature dimension.
+        in_dim: u32,
+        /// Output feature dimension.
+        out_dim: u32,
+        /// Element-wise epilogue fused into the layer, if any.
+        fused_activation: Option<Activation>,
+    },
+    /// Embedding lookup on one table: a gather of `pooling` rows per item,
+    /// reduced (summed) into a single vector when `reduce` is set
+    /// (the *SparseLengthsSum* / Gather-and-Reduce pattern), or materialized
+    /// as a `[pooling, dim]` sequence when not (DIN/DIEN behaviour history).
+    SparseLookup {
+        /// Which embedding table this operator reads.
+        table: TableId,
+        /// Whether gathered rows are pooled (summed) into one vector.
+        reduce: bool,
+    },
+    /// Stand-alone element-wise activation over `dim` features
+    /// (fused away by [`crate::fusion::fuse_elementwise`] when possible).
+    ActivationOp {
+        /// Feature dimension the activation applies to.
+        dim: u32,
+        /// The function applied.
+        kind: Activation,
+    },
+    /// DIN-style local-activation attention: for each of `seq` history
+    /// positions, a small MLP (`4*dim -> hidden -> 1`) scores the position
+    /// against the candidate item, followed by a weighted sum.
+    Attention {
+        /// History sequence length (average; per-query values are sampled by
+        /// the workload generator).
+        seq: u32,
+        /// Embedding dimension of each position.
+        dim: u32,
+        /// Hidden width of the scoring MLP.
+        hidden: u32,
+    },
+    /// GRU recurrence over a `seq`-step sequence of `dim`-dimensional inputs
+    /// with `hidden`-dimensional state (DIEN interest evolution).
+    Gru {
+        /// Number of sequential time steps.
+        seq: u32,
+        /// Input dimension per step.
+        dim: u32,
+        /// Hidden-state dimension.
+        hidden: u32,
+    },
+    /// Pairwise dot-product feature interaction over `features` vectors of
+    /// width `dim` (the DLRM interaction op).
+    FeatureInteraction {
+        /// Number of interacting feature vectors.
+        features: u32,
+        /// Width of each vector.
+        dim: u32,
+    },
+    /// Concatenation of `inputs` tensors with combined width `total_dim`.
+    Concat {
+        /// Number of concatenated inputs.
+        inputs: u32,
+        /// Combined output width.
+        total_dim: u32,
+    },
+}
+
+/// Resource cost of one operator execution at a given batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCost {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes read from memory (weights + activations + embedding rows).
+    pub bytes_read: f64,
+    /// Bytes written to memory (outputs).
+    pub bytes_written: f64,
+    /// Whether reads are gather-style random access (achieves a reduced
+    /// fraction of peak DRAM bandwidth).
+    pub random_access: bool,
+    /// Intra-operator serial dependency chain length (1 = fully parallel
+    /// across the batch; `seq` for recurrent ops).
+    pub serial_steps: u32,
+}
+
+impl OpCost {
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+const F32: f64 = 4.0; // bytes per element
+const IDX: f64 = 8.0; // bytes per embedding index (int64, Caffe2 convention)
+
+impl OpKind {
+    /// Computes the execution cost at `batch` items.
+    ///
+    /// `tables` resolves [`OpKind::SparseLookup`] table references; pooling
+    /// uses the table's *average* factor (per-query factors are sampled by
+    /// the workload generator and folded in by the simulator's service-time
+    /// scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `SparseLookup` references a table not present in `tables`.
+    pub fn cost(&self, batch: u64, tables: &[EmbeddingTableSpec]) -> OpCost {
+        let b = batch as f64;
+        match *self {
+            OpKind::Fc {
+                in_dim,
+                out_dim,
+                fused_activation,
+            } => {
+                let (i, o) = (in_dim as f64, out_dim as f64);
+                let act_flops = if fused_activation.is_some() { b * o } else { 0.0 };
+                OpCost {
+                    flops: 2.0 * b * i * o + act_flops,
+                    bytes_read: (i * o + b * i) * F32,
+                    bytes_written: b * o * F32,
+                    random_access: false,
+                    serial_steps: 1,
+                }
+            }
+            OpKind::SparseLookup { table, reduce } => {
+                let spec = tables
+                    .get(table.index())
+                    .unwrap_or_else(|| panic!("unknown table {table:?}"));
+                let pooling = spec.avg_pooling() as f64;
+                let dim = spec.dim as f64;
+                let gathered = b * pooling * dim;
+                let out = if reduce { b * dim } else { gathered };
+                OpCost {
+                    // Pooling reduction: (pooling - 1) adds per output element.
+                    flops: if reduce { b * (pooling - 1.0).max(0.0) * dim } else { 0.0 },
+                    bytes_read: gathered * F32 + b * pooling * IDX,
+                    bytes_written: out * F32,
+                    random_access: true,
+                    serial_steps: 1,
+                }
+            }
+            OpKind::ActivationOp { dim, kind: _ } => {
+                let d = dim as f64;
+                OpCost {
+                    flops: b * d,
+                    bytes_read: b * d * F32,
+                    bytes_written: b * d * F32,
+                    random_access: false,
+                    serial_steps: 1,
+                }
+            }
+            OpKind::Attention { seq, dim, hidden } => {
+                let (s, d, h) = (seq as f64, dim as f64, hidden as f64);
+                // Per position: concat features (4d) -> hidden -> 1, then a
+                // weighted sum of the sequence.
+                let per_pos = 2.0 * (4.0 * d * h + h) + d;
+                OpCost {
+                    flops: b * s * per_pos,
+                    bytes_read: b * s * d * F32 + (4.0 * d * h + h) * F32,
+                    bytes_written: b * d * F32,
+                    random_access: false,
+                    serial_steps: 1,
+                }
+            }
+            OpKind::Gru { seq, dim, hidden } => {
+                let (s, d, h) = (seq as f64, dim as f64, hidden as f64);
+                // Three gates, each [d + h] -> h, per step.
+                let per_step = 2.0 * 3.0 * h * (d + h);
+                OpCost {
+                    flops: b * s * per_step,
+                    bytes_read: 3.0 * h * (d + h) * F32 + b * s * d * F32,
+                    bytes_written: b * h * F32,
+                    random_access: false,
+                    serial_steps: seq.max(1),
+                }
+            }
+            OpKind::FeatureInteraction { features, dim } => {
+                let (f, d) = (features as f64, dim as f64);
+                let pairs = f * (f - 1.0) / 2.0;
+                OpCost {
+                    flops: 2.0 * b * pairs * d,
+                    bytes_read: b * f * d * F32,
+                    bytes_written: b * pairs * F32,
+                    random_access: false,
+                    serial_steps: 1,
+                }
+            }
+            OpKind::Concat { inputs: _, total_dim } => {
+                let d = total_dim as f64;
+                OpCost {
+                    flops: 0.0,
+                    bytes_read: b * d * F32,
+                    bytes_written: b * d * F32,
+                    random_access: false,
+                    serial_steps: 1,
+                }
+            }
+        }
+    }
+
+    /// Whether this operator belongs to the SparseNet (`Gs`) side of the
+    /// sparse–dense partition.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, OpKind::SparseLookup { .. })
+    }
+
+    /// Host-to-device bytes that must cross PCIe per batch *item* to launch
+    /// this operator on an accelerator with device-resident weights:
+    /// embedding indices for sparse ops, nothing extra for dense ops
+    /// (dense activations are produced on-device or accounted at the stage
+    /// boundary).
+    pub fn loading_bytes_per_item(&self, tables: &[EmbeddingTableSpec]) -> f64 {
+        match *self {
+            OpKind::SparseLookup { table, .. } => {
+                let spec = &tables[table.index()];
+                spec.avg_pooling() as f64 * IDX
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// A short human-readable label for breakdowns (Fig. 5).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::Fc { .. } => "FC",
+            OpKind::SparseLookup { .. } => "SLS",
+            OpKind::ActivationOp { .. } => "Act",
+            OpKind::Attention { .. } => "Attn",
+            OpKind::Gru { .. } => "GRU",
+            OpKind::FeatureInteraction { .. } => "Interact",
+            OpKind::Concat { .. } => "Concat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PoolingSpec;
+
+    fn table(rows: u64, dim: u32, pooling: PoolingSpec) -> EmbeddingTableSpec {
+        EmbeddingTableSpec::new(rows, dim, pooling, 0.8)
+    }
+
+    #[test]
+    fn fc_cost_scales_with_batch() {
+        let fc = OpKind::Fc {
+            in_dim: 128,
+            out_dim: 64,
+            fused_activation: None,
+        };
+        let c1 = fc.cost(1, &[]);
+        let c8 = fc.cost(8, &[]);
+        assert_eq!(c1.flops, 2.0 * 128.0 * 64.0);
+        assert_eq!(c8.flops, 8.0 * c1.flops);
+        // Weight bytes are shared across the batch: read bytes grow slower
+        // than 8x.
+        assert!(c8.bytes_read < 8.0 * c1.bytes_read);
+        assert!(!c1.random_access);
+    }
+
+    #[test]
+    fn fused_activation_adds_flops_only() {
+        let plain = OpKind::Fc {
+            in_dim: 10,
+            out_dim: 10,
+            fused_activation: None,
+        };
+        let fused = OpKind::Fc {
+            in_dim: 10,
+            out_dim: 10,
+            fused_activation: Some(Activation::Relu),
+        };
+        let (p, f) = (plain.cost(4, &[]), fused.cost(4, &[]));
+        assert_eq!(f.flops, p.flops + 4.0 * 10.0);
+        assert_eq!(f.bytes_read, p.bytes_read);
+        assert_eq!(f.bytes_written, p.bytes_written);
+    }
+
+    #[test]
+    fn sparse_lookup_is_random_access_and_memory_heavy() {
+        let tables = vec![table(1_000_000, 32, PoolingSpec::multi_hot(20, 160))];
+        let sls = OpKind::SparseLookup {
+            table: TableId::new(0),
+            reduce: true,
+        };
+        let c = sls.cost(16, &tables);
+        assert!(c.random_access);
+        let pooling = tables[0].avg_pooling() as f64;
+        assert_eq!(c.bytes_read, 16.0 * pooling * 32.0 * 4.0 + 16.0 * pooling * 8.0);
+        assert_eq!(c.bytes_written, 16.0 * 32.0 * 4.0);
+        // Reduction flops: (pooling - 1) * dim per item.
+        assert_eq!(c.flops, 16.0 * (pooling - 1.0) * 32.0);
+    }
+
+    #[test]
+    fn unreduced_lookup_writes_full_sequence() {
+        let tables = vec![table(1_000_000, 64, PoolingSpec::sequence(100, 1000))];
+        let gather = OpKind::SparseLookup {
+            table: TableId::new(0),
+            reduce: false,
+        };
+        let c = gather.cost(2, &tables);
+        let pooling = tables[0].avg_pooling() as f64;
+        assert_eq!(c.flops, 0.0);
+        assert_eq!(c.bytes_written, 2.0 * pooling * 64.0 * 4.0);
+    }
+
+    #[test]
+    fn gru_serial_steps_equal_sequence() {
+        let gru = OpKind::Gru {
+            seq: 300,
+            dim: 64,
+            hidden: 64,
+        };
+        let c = gru.cost(4, &[]);
+        assert_eq!(c.serial_steps, 300);
+        assert_eq!(c.flops, 4.0 * 300.0 * 2.0 * 3.0 * 64.0 * 128.0);
+    }
+
+    #[test]
+    fn interaction_pairs() {
+        let op = OpKind::FeatureInteraction { features: 11, dim: 32 };
+        let c = op.cost(1, &[]);
+        assert_eq!(c.flops, 2.0 * 55.0 * 32.0);
+        assert_eq!(c.bytes_written, 55.0 * 4.0);
+    }
+
+    #[test]
+    fn loading_bytes_only_for_sparse() {
+        let tables = vec![table(1_000, 32, PoolingSpec::multi_hot(20, 60))];
+        let sls = OpKind::SparseLookup {
+            table: TableId::new(0),
+            reduce: true,
+        };
+        assert_eq!(
+            sls.loading_bytes_per_item(&tables),
+            tables[0].avg_pooling() as f64 * 8.0
+        );
+        let fc = OpKind::Fc {
+            in_dim: 4,
+            out_dim: 4,
+            fused_activation: None,
+        };
+        assert_eq!(fc.loading_bytes_per_item(&tables), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            OpKind::Attention { seq: 1, dim: 1, hidden: 1 }.label(),
+            "Attn"
+        );
+        assert_eq!(OpKind::Concat { inputs: 2, total_dim: 4 }.label(), "Concat");
+    }
+}

@@ -1,0 +1,294 @@
+//! HW-aware model partition (paper §IV-B, Fig. 10a).
+//!
+//! Two partitioning transforms:
+//!
+//! 1. **Sparse–dense split** ([`sparse_dense`]): `Gm -> (Gs, Gd)`. The
+//!    SparseNet (all embedding operators, mutually independent) and the
+//!    DenseNet (everything else, dependency-chained) run as separate
+//!    pipelined inference threads connected by a queue.
+//! 2. **Locality-aware hot-embedding partition** ([`hot_partition`]):
+//!    ranks embedding rows by access frequency (Zipf popularity) and packs
+//!    the hottest rows into `Gs.hot` under an accelerator capacity budget
+//!    (`memory capacity / co-located threads`). The host serves misses and
+//!    ships partial sums + residual indices to the accelerator.
+
+use hercules_common::units::MemBytes;
+
+use crate::graph::Graph;
+use crate::table::TableId;
+use crate::zoo::RecModel;
+
+/// Result of splitting a model into SparseNet and DenseNet.
+#[derive(Debug, Clone)]
+pub struct SdPartition {
+    /// `Gs`: all embedding operators (no intra-stage dependencies).
+    pub sparse: Graph,
+    /// `Gd`: dense operators (FCs, interaction, attention, GRU, ...).
+    pub dense: Graph,
+    /// Bytes per batch item crossing the `Gs -> Gd` queue (pooled embedding
+    /// outputs, or full gathered sequences for unreduced lookups).
+    pub cut_bytes_per_item: f64,
+}
+
+/// Splits `Gm` into SparseNet / DenseNet subgraphs.
+///
+/// Every [`crate::op::OpKind::SparseLookup`] lands in `Gs`; everything else
+/// in `Gd`. Edges crossing the cut become the pipeline queue, sized by
+/// [`SdPartition::cut_bytes_per_item`].
+pub fn sparse_dense(model: &RecModel) -> SdPartition {
+    let (sparse, _) = model.graph.induced_subgraph(|_, n| n.op.is_sparse());
+    let (dense, _) = model.graph.induced_subgraph(|_, n| !n.op.is_sparse());
+
+    // Each sparse op's per-item output crosses the queue.
+    let cut_bytes_per_item: f64 = sparse
+        .nodes()
+        .map(|(_, n)| {
+            let c = n.op.cost(1, &model.tables);
+            c.bytes_written
+        })
+        .sum();
+
+    SdPartition {
+        sparse,
+        dense,
+        cut_bytes_per_item,
+    }
+}
+
+/// Hot-row allocation for one embedding table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotTableAllocation {
+    /// Which table.
+    pub table: TableId,
+    /// Rows cached on the accelerator (the `hot_rows` most popular).
+    pub hot_rows: u64,
+    /// Fraction of accesses served by the hot rows.
+    pub hit_rate: f64,
+}
+
+/// Result of the locality-aware embedding partition.
+#[derive(Debug, Clone)]
+pub struct HotPartition {
+    /// Per-table hot-row allocations.
+    pub allocations: Vec<HotTableAllocation>,
+    /// The capacity budget requested.
+    pub budget: MemBytes,
+    /// Bytes actually consumed by hot rows.
+    pub used: MemBytes,
+    /// Traffic-weighted aggregate hit rate across tables.
+    pub overall_hit_rate: f64,
+    /// `Gs.hot`: the sparse subgraph served from accelerator-resident rows.
+    pub gs_hot: Graph,
+    /// `Gd`: the dense subgraph (accelerator-resident alongside `Gs.hot`).
+    pub dense: Graph,
+    /// Host-to-accelerator bytes per batch item: residual indices for hot
+    /// lookups plus one partial-sum vector per reduced table.
+    pub loading_bytes_per_item: f64,
+}
+
+/// Computes the locality-aware hot-embedding partition under `budget` bytes.
+///
+/// Budget is distributed across tables proportionally to their bandwidth
+/// traffic (`avg_pooling x dim`), iteratively re-distributing slack from
+/// tables that fit entirely. Hit rates come from each table's Zipf
+/// popularity ([`crate::table::EmbeddingTableSpec::hit_rate`]).
+///
+/// # Panics
+///
+/// Panics if the model has no tables.
+pub fn hot_partition(model: &RecModel, budget: MemBytes) -> HotPartition {
+    assert!(!model.tables.is_empty(), "model must have embedding tables");
+    let n = model.tables.len();
+    let mut alloc_rows = vec![0u64; n];
+    let mut remaining = budget.as_f64();
+
+    // Iterative proportional fill: tables that saturate return their slack
+    // to the pool for the rest.
+    let mut active: Vec<usize> = (0..n).collect();
+    for _round in 0..n {
+        if remaining < 4.0 || active.is_empty() {
+            break;
+        }
+        let total_weight: f64 = active
+            .iter()
+            .map(|&i| {
+                let t = &model.tables[i];
+                t.avg_pooling() as f64 * t.dim as f64
+            })
+            .sum();
+        if total_weight <= 0.0 {
+            break;
+        }
+        let mut next_active = Vec::new();
+        let mut spent = 0.0;
+        for &i in &active {
+            let t = &model.tables[i];
+            let weight = t.avg_pooling() as f64 * t.dim as f64;
+            let share_bytes = remaining * weight / total_weight;
+            let row_bytes = t.dim as f64 * 4.0;
+            let want_rows = (share_bytes / row_bytes).floor() as u64;
+            let capacity_left = t.rows - alloc_rows[i];
+            let grant = want_rows.min(capacity_left);
+            alloc_rows[i] += grant;
+            spent += grant as f64 * row_bytes;
+            if alloc_rows[i] < t.rows && grant > 0 {
+                next_active.push(i);
+            }
+        }
+        remaining -= spent;
+        if spent == 0.0 {
+            break;
+        }
+        active = next_active;
+    }
+
+    let allocations: Vec<HotTableAllocation> = (0..n)
+        .map(|i| HotTableAllocation {
+            table: TableId::new(i as u32),
+            hot_rows: alloc_rows[i],
+            hit_rate: model.tables[i].hit_rate(alloc_rows[i]),
+        })
+        .collect();
+
+    let used = MemBytes::from_bytes(
+        allocations
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.hot_rows * model.tables[i].dim as u64 * 4)
+            .sum(),
+    );
+
+    let total_traffic: f64 = model
+        .tables
+        .iter()
+        .map(|t| t.avg_pooling() as f64 * t.dim as f64)
+        .sum();
+    let overall_hit_rate = if total_traffic > 0.0 {
+        model
+            .tables
+            .iter()
+            .zip(&allocations)
+            .map(|(t, a)| a.hit_rate * t.avg_pooling() as f64 * t.dim as f64)
+            .sum::<f64>()
+            / total_traffic
+    } else {
+        0.0
+    };
+
+    let (gs_hot, _) = model.graph.induced_subgraph(|_, node| node.op.is_sparse());
+    let (dense, _) = model.graph.induced_subgraph(|_, node| !node.op.is_sparse());
+
+    // Per item: hot-row indices (8 B each, hit fraction of pooling) plus one
+    // f32 partial-sum vector per reduced table (the host pre-pools misses).
+    let loading_bytes_per_item: f64 = model
+        .tables
+        .iter()
+        .zip(&allocations)
+        .map(|(t, a)| {
+            let idx_bytes = t.avg_pooling() as f64 * a.hit_rate * 8.0;
+            let psum_bytes = if t.pooling.reduces() {
+                t.dim as f64 * 4.0
+            } else {
+                // Unreduced misses must ship whole rows.
+                t.avg_pooling() as f64 * (1.0 - a.hit_rate) * t.dim as f64 * 4.0
+            };
+            idx_bytes + psum_bytes
+        })
+        .sum();
+
+    HotPartition {
+        allocations,
+        budget,
+        used,
+        overall_hit_rate,
+        gs_hot,
+        dense,
+        loading_bytes_per_item,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{ModelKind, ModelScale, RecModel};
+
+    #[test]
+    fn sparse_dense_covers_all_nodes() {
+        for kind in ModelKind::ALL {
+            let m = RecModel::build(kind, ModelScale::Production);
+            let p = sparse_dense(&m);
+            assert_eq!(p.sparse.len() + p.dense.len(), m.graph.len(), "{kind}");
+            // SparseNet has no internal dependencies (paper: "no operator
+            // dependency" in Gs).
+            assert_eq!(p.sparse.edge_count(), 0, "{kind}");
+            p.dense.validate().unwrap();
+            assert!(p.cut_bytes_per_item > 0.0);
+        }
+    }
+
+    #[test]
+    fn rmc1_cut_is_pooled_outputs() {
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let p = sparse_dense(&m);
+        // 10 tables x dim 32 x 4 B pooled outputs.
+        assert_eq!(p.cut_bytes_per_item, 10.0 * 32.0 * 4.0);
+    }
+
+    #[test]
+    fn hot_partition_respects_budget() {
+        let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Production);
+        let budget = MemBytes::from_gib(8);
+        let p = hot_partition(&m, budget);
+        assert!(p.used <= budget);
+        assert!(p.used.as_f64() > 0.9 * budget.as_f64(), "budget mostly used");
+        assert!(p.overall_hit_rate > 0.0 && p.overall_hit_rate < 1.0);
+    }
+
+    #[test]
+    fn hot_partition_entire_model_hits_everything() {
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Small);
+        // Budget far beyond the model: every row becomes hot.
+        let p = hot_partition(&m, MemBytes::from_gib(64));
+        assert!(p.used <= m.total_table_size());
+        assert!(
+            (p.overall_hit_rate - 1.0).abs() < 1e-9,
+            "hit rate {}",
+            p.overall_hit_rate
+        );
+        for a in &p.allocations {
+            assert_eq!(a.hot_rows, m.tables[a.table.index()].rows);
+        }
+    }
+
+    #[test]
+    fn zero_budget_means_zero_hits() {
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let p = hot_partition(&m, MemBytes::ZERO);
+        assert_eq!(p.used, MemBytes::ZERO);
+        assert_eq!(p.overall_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn bigger_budget_never_lowers_hit_rate() {
+        let m = RecModel::build(ModelKind::Din, ModelScale::Production);
+        let mut last = -1.0;
+        for gib in [1u64, 2, 4, 8, 12] {
+            let p = hot_partition(&m, MemBytes::from_gib(gib));
+            assert!(
+                p.overall_hit_rate >= last - 1e-12,
+                "hit rate fell at {gib} GiB"
+            );
+            last = p.overall_hit_rate;
+        }
+    }
+
+    #[test]
+    fn loading_bytes_shrink_with_budget() {
+        // More hot rows -> fewer unreduced misses shipped for DIN's
+        // sequence table.
+        let m = RecModel::build(ModelKind::Din, ModelScale::Production);
+        let small = hot_partition(&m, MemBytes::from_gib(1));
+        let large = hot_partition(&m, MemBytes::from_gib(12));
+        assert!(large.loading_bytes_per_item < small.loading_bytes_per_item);
+    }
+}

@@ -1,0 +1,93 @@
+//! Model footprint statistics (paper Fig. 1 left: compute vs. memory
+//! intensity of the six models).
+
+use hercules_common::units::MemBytes;
+
+use crate::zoo::RecModel;
+
+/// Average per-query resource footprint of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Footprint {
+    /// FLOPs per query (a query ranks `items_per_query` candidates).
+    pub flops_per_query: f64,
+    /// Bytes moved per query.
+    pub bytes_per_query: f64,
+    /// FLOPs per single candidate item.
+    pub flops_per_item: f64,
+    /// Bytes per single candidate item.
+    pub bytes_per_item: f64,
+    /// Total embedding-table storage.
+    pub table_bytes: MemBytes,
+}
+
+impl Footprint {
+    /// Arithmetic intensity: FLOPs per byte moved. Below roughly the
+    /// machine-balance point a model is memory-dominated (Fig. 1's lower
+    /// right region); above, compute-dominated.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops_per_query / self.bytes_per_query
+    }
+}
+
+/// Computes the average footprint of `model` for queries of
+/// `items_per_query` candidates.
+///
+/// # Panics
+///
+/// Panics if `items_per_query` is zero.
+pub fn footprint(model: &RecModel, items_per_query: u64) -> Footprint {
+    assert!(items_per_query > 0, "queries rank at least one item");
+    let per_query = model.graph.total_cost(items_per_query, &model.tables);
+    let per_item = model.graph.total_cost(1, &model.tables);
+    Footprint {
+        flops_per_query: per_query.flops,
+        bytes_per_query: per_query.total_bytes(),
+        flops_per_item: per_item.flops,
+        bytes_per_item: per_item.total_bytes(),
+        table_bytes: model.total_table_size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{ModelKind, ModelScale};
+
+    #[test]
+    fn footprint_orderings_match_figure_1() {
+        let fp = |k: ModelKind| {
+            footprint(&RecModel::build(k, ModelScale::Production), 128)
+        };
+        let rmc1 = fp(ModelKind::DlrmRmc1);
+        let rmc2 = fp(ModelKind::DlrmRmc2);
+        let rmc3 = fp(ModelKind::DlrmRmc3);
+        let wnd = fp(ModelKind::MtWnd);
+
+        // RMC2 moves the most bytes (most tables x heavy pooling).
+        assert!(rmc2.bytes_per_query > rmc1.bytes_per_query);
+        assert!(rmc2.bytes_per_query > wnd.bytes_per_query);
+        // MT-WnD burns the most FLOPs (multi-task towers).
+        assert!(wnd.flops_per_query > rmc1.flops_per_query);
+        assert!(wnd.flops_per_query > rmc3.flops_per_query);
+        // Intensity ordering: RMC1/2 memory-dominated, RMC3/WnD compute.
+        assert!(rmc1.arithmetic_intensity() < rmc3.arithmetic_intensity());
+        assert!(rmc2.arithmetic_intensity() < wnd.arithmetic_intensity());
+    }
+
+    #[test]
+    fn footprint_scales_linearly_in_items_for_sparse_models() {
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let f1 = footprint(&m, 64);
+        let f2 = footprint(&m, 128);
+        // Embedding traffic dominates and is strictly per-item.
+        let ratio = f2.bytes_per_query / f1.bytes_per_query;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_item_queries_rejected() {
+        let m = RecModel::build(ModelKind::Din, ModelScale::Small);
+        let _ = footprint(&m, 0);
+    }
+}

@@ -1,0 +1,722 @@
+//! The discrete-event server simulator.
+//!
+//! Faithful to the paper's system stack (Fig. 3): a query dispatcher splits
+//! arriving queries into sub-queries (data-parallelism on CPUs) or fuses
+//! them into large batches (query fusion on accelerators); inference-thread
+//! pools serve batches with service times from the roofline cost model; the
+//! S-D pipeline forwards pooled sparse outputs through a queue; PCIe loading
+//! is a serialized shared link. Tail latency, throughput, utilization, and
+//! power are measured over a post-warm-up window.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use hercules_common::stats::PercentileTracker;
+use hercules_common::units::{Joules, Qps, SimDuration, SimTime, Watts};
+use hercules_hw::cost::pcie_transfer_time;
+use hercules_hw::power::{Activity, PowerModel};
+use hercules_hw::server::ServerSpec;
+use hercules_model::zoo::RecModel;
+use hercules_workload::generator::QueryStream;
+
+use crate::config::{PlacementPlan, PlanError, SimConfig};
+use crate::metrics::{LatencyBreakdown, SimReport};
+use crate::service::{build_topology, BackStage, Topology};
+
+const POWER_BUCKETS: usize = 32;
+
+#[derive(Debug, Clone, Copy)]
+struct SubQuery {
+    query: u32,
+    items: u32,
+    ready: SimTime,
+}
+
+#[derive(Debug)]
+struct FusedBatch {
+    subs: Vec<SubQuery>,
+    items: u32,
+    load_start: SimTime,
+    load_dur: SimDuration,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(u32),
+    FrontDone { thread: u32, sub: SubQuery },
+    BackDone { thread: u32, sub: SubQuery },
+    LoadDone { ctx: u32, batch: usize },
+    GpuDone { ctx: u32, batch: usize },
+}
+
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earliest time (then lowest seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct QueryRec {
+    arrival: SimTime,
+    remaining: u32,
+    n_subs: u32,
+    queuing: SimDuration,
+    loading: SimDuration,
+    inference: SimDuration,
+}
+
+#[derive(Debug)]
+struct Buckets {
+    width_s: f64,
+    cpu_core_s: Vec<f64>,
+    chan_bytes: Vec<f64>,
+    gpu_s: Vec<f64>,
+    pcie_s: Vec<f64>,
+    nmp_j: Vec<f64>,
+}
+
+impl Buckets {
+    fn new(duration: SimDuration) -> Self {
+        Buckets {
+            width_s: duration.as_secs_f64() / POWER_BUCKETS as f64,
+            cpu_core_s: vec![0.0; POWER_BUCKETS],
+            chan_bytes: vec![0.0; POWER_BUCKETS],
+            gpu_s: vec![0.0; POWER_BUCKETS],
+            pcie_s: vec![0.0; POWER_BUCKETS],
+            nmp_j: vec![0.0; POWER_BUCKETS],
+        }
+    }
+
+    fn index(&self, t: SimTime) -> usize {
+        ((t.as_secs_f64() / self.width_s) as usize).min(POWER_BUCKETS - 1)
+    }
+}
+
+struct Engine<'a> {
+    topo: &'a Topology,
+    server: &'a ServerSpec,
+    horizon: SimTime,
+    warmup_start: SimTime,
+    measure_end: SimTime,
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+    queries: Vec<QueryRec>,
+    all_queries: Vec<hercules_workload::query::Query>,
+    // Host front pool.
+    front_queue: VecDeque<SubQuery>,
+    front_free: Vec<u32>,
+    // Host back pool (S-D dense stage).
+    back_queue: VecDeque<SubQuery>,
+    back_free: Vec<u32>,
+    // GPU stage.
+    fusion_buf: VecDeque<SubQuery>,
+    gpu_free: Vec<u32>,
+    pcie_free: SimTime,
+    batches: Vec<FusedBatch>,
+    // Metrics.
+    latency: PercentileTracker,
+    completed: u64,
+    measured_arrivals: u64,
+    sum_queuing: f64,
+    sum_loading: f64,
+    sum_inference: f64,
+    buckets: Buckets,
+    front_idle_weighted: f64,
+    front_busy_weight: f64,
+    total_nmp_j: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn push(&mut self, time: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(HeapEntry {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn split(&self, query_idx: u32, now: SimTime) -> Vec<SubQuery> {
+        let size = self.all_queries[query_idx as usize].size;
+        match self.topo.split_batch {
+            None => vec![SubQuery {
+                query: query_idx,
+                items: size,
+                ready: now,
+            }],
+            Some(d) => {
+                let mut subs = Vec::new();
+                let mut left = size;
+                while left > 0 {
+                    let take = left.min(d);
+                    subs.push(SubQuery {
+                        query: query_idx,
+                        items: take,
+                        ready: now,
+                    });
+                    left -= take;
+                }
+                subs
+            }
+        }
+    }
+
+    fn schedule_front(&mut self, now: SimTime) {
+        let Some(front) = &self.topo.front else { return };
+        while !self.front_free.is_empty() && !self.front_queue.is_empty() {
+            let thread = self.front_free.pop().expect("non-empty");
+            let sub = self.front_queue.pop_front().expect("non-empty");
+            let cost = front.svc.cost(sub.items);
+            let wait = now.saturating_since(sub.ready);
+            let rec = &mut self.queries[sub.query as usize];
+            let nsubs = rec.n_subs.max(1) as u64;
+            rec.queuing += wait / nsubs;
+            rec.inference += cost.latency / nsubs;
+            let b = self.buckets.index(now);
+            self.buckets.cpu_core_s[b] += cost.busy_core_time.as_secs_f64();
+            self.buckets.chan_bytes[b] += cost.channel_bytes;
+            self.buckets.nmp_j[b] += cost.nmp_energy.value();
+            self.total_nmp_j += cost.nmp_energy.value();
+            self.front_idle_weighted += cost.idle_fraction * cost.busy_core_time.as_secs_f64();
+            self.front_busy_weight += cost.busy_core_time.as_secs_f64();
+            let done = now + cost.latency;
+            self.push(done, Ev::FrontDone { thread, sub });
+        }
+    }
+
+    fn schedule_back(&mut self, now: SimTime) {
+        let BackStage::HostPool { svc, .. } = &self.topo.back else {
+            return;
+        };
+        while !self.back_free.is_empty() && !self.back_queue.is_empty() {
+            let thread = self.back_free.pop().expect("non-empty");
+            let sub = self.back_queue.pop_front().expect("non-empty");
+            let cost = svc.cost(sub.items);
+            let wait = now.saturating_since(sub.ready);
+            let nsubs = self.queries[sub.query as usize].n_subs.max(1) as u64;
+            self.queries[sub.query as usize].queuing += wait / nsubs;
+            self.queries[sub.query as usize].inference += cost.latency / nsubs;
+            let b = self.buckets.index(now);
+            self.buckets.cpu_core_s[b] += cost.busy_core_time.as_secs_f64();
+            self.buckets.chan_bytes[b] += cost.channel_bytes;
+            let done = now + cost.latency;
+            self.push(done, Ev::BackDone { thread, sub });
+        }
+    }
+
+    fn try_launch_gpu(&mut self, now: SimTime) {
+        let BackStage::Gpu {
+            fusion_limit,
+            bytes_per_item,
+            ..
+        } = &self.topo.back
+        else {
+            return;
+        };
+        let fusion_limit = *fusion_limit;
+        let bytes_per_item = *bytes_per_item;
+        while !self.gpu_free.is_empty() && !self.fusion_buf.is_empty() {
+            let ctx = self.gpu_free.pop().expect("non-empty");
+            let mut subs = Vec::new();
+            let mut items = 0u32;
+            match fusion_limit {
+                None => {
+                    let sub = self.fusion_buf.pop_front().expect("non-empty");
+                    items = sub.items;
+                    subs.push(sub);
+                }
+                Some(limit) => {
+                    while let Some(next) = self.fusion_buf.front() {
+                        if !subs.is_empty() && items + next.items > limit {
+                            break;
+                        }
+                        let sub = self.fusion_buf.pop_front().expect("non-empty");
+                        items += sub.items;
+                        subs.push(sub);
+                    }
+                }
+            }
+            let gpu = self.server.gpu.as_ref().expect("gpu topology on gpu server");
+            let bytes = bytes_per_item * items as f64;
+            let load_start = now.max(self.pcie_free);
+            let load_dur = pcie_transfer_time(bytes, gpu, 1);
+            self.pcie_free = load_start + load_dur;
+            let b = self.buckets.index(load_start);
+            self.buckets.pcie_s[b] += load_dur.as_secs_f64();
+            let batch_id = self.batches.len();
+            self.batches.push(FusedBatch {
+                subs,
+                items,
+                load_start,
+                load_dur,
+            });
+            self.push(load_start + load_dur, Ev::LoadDone { ctx, batch: batch_id });
+        }
+    }
+
+    fn complete_sub(&mut self, sub: &SubQuery, now: SimTime) {
+        let rec = &mut self.queries[sub.query as usize];
+        rec.remaining -= 1;
+        if rec.remaining == 0 {
+            let lat = now.saturating_since(rec.arrival);
+            if rec.arrival >= self.warmup_start && rec.arrival < self.measure_end {
+                self.completed += 1;
+                self.latency.record(lat.as_secs_f64());
+                self.sum_queuing += rec.queuing.as_secs_f64();
+                self.sum_loading += rec.loading.as_secs_f64();
+                self.sum_inference += rec.inference.as_secs_f64();
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(entry) = self.heap.pop() {
+            let now = entry.time;
+            if now > self.horizon {
+                break;
+            }
+            match entry.ev {
+                Ev::Arrival(q) => {
+                    let subs = self.split(q, now);
+                    self.queries[q as usize].remaining = subs.len() as u32;
+                    self.queries[q as usize].n_subs = subs.len() as u32;
+                    if self.topo.front.is_some() {
+                        self.front_queue.extend(subs);
+                        self.schedule_front(now);
+                    } else {
+                        self.fusion_buf.extend(subs);
+                        self.try_launch_gpu(now);
+                    }
+                }
+                Ev::FrontDone { thread, sub } => {
+                    self.front_free.push(thread);
+                    let forwarded = SubQuery {
+                        ready: now,
+                        ..sub
+                    };
+                    match &self.topo.back {
+                        BackStage::None => self.complete_sub(&sub, now),
+                        BackStage::HostPool { .. } => {
+                            self.back_queue.push_back(forwarded);
+                            self.schedule_back(now);
+                        }
+                        BackStage::Gpu { .. } => {
+                            self.fusion_buf.push_back(forwarded);
+                            self.try_launch_gpu(now);
+                        }
+                    }
+                    self.schedule_front(now);
+                }
+                Ev::BackDone { thread, sub } => {
+                    self.back_free.push(thread);
+                    self.complete_sub(&sub, now);
+                    self.schedule_back(now);
+                }
+                Ev::LoadDone { ctx, batch } => {
+                    let items = self.batches[batch].items;
+                    let BackStage::Gpu { svc, colocated, .. } = &self.topo.back else {
+                        unreachable!("LoadDone only fires with a GPU stage");
+                    };
+                    let cost = svc.cost(items);
+                    let b = self.buckets.index(now);
+                    self.buckets.gpu_s[b] +=
+                        cost.latency.as_secs_f64() * cost.gpu_util / *colocated as f64;
+                    self.push(now + cost.latency, Ev::GpuDone { ctx, batch });
+                }
+                Ev::GpuDone { ctx, batch } => {
+                    self.gpu_free.push(ctx);
+                    let BackStage::Gpu { svc, .. } = &self.topo.back else {
+                        unreachable!("GpuDone only fires with a GPU stage");
+                    };
+                    let items = self.batches[batch].items;
+                    let compute = svc.cost(items).latency;
+                    let load_start = self.batches[batch].load_start;
+                    let load_dur = self.batches[batch].load_dur;
+                    let subs = std::mem::take(&mut self.batches[batch].subs);
+                    for sub in &subs {
+                        let nsubs = self.queries[sub.query as usize].n_subs.max(1) as u64;
+                        let wait = load_start.saturating_since(sub.ready);
+                        self.queries[sub.query as usize].queuing += wait / nsubs;
+                        self.queries[sub.query as usize].loading += load_dur / nsubs;
+                        self.queries[sub.query as usize].inference += compute / nsubs;
+                        self.complete_sub(sub, now);
+                    }
+                    self.try_launch_gpu(now);
+                }
+            }
+        }
+    }
+}
+
+/// Simulates `model` served on `server` under `plan` at `offered` load.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the plan is infeasible on this server/model.
+pub fn simulate(
+    model: &RecModel,
+    server: &ServerSpec,
+    plan: &PlacementPlan,
+    offered: Qps,
+    cfg: &SimConfig,
+) -> Result<SimReport, PlanError> {
+    let topo = build_topology(model, server, plan)?;
+    simulate_with_topology(&topo, server, offered, cfg)
+}
+
+/// Simulates a pre-built topology (lets searchers reuse cost caches across
+/// load levels).
+pub fn simulate_with_topology(
+    topo: &Topology,
+    server: &ServerSpec,
+    offered: Qps,
+    cfg: &SimConfig,
+) -> Result<SimReport, PlanError> {
+    let horizon = SimTime::ZERO + cfg.duration;
+    let warmup_start =
+        SimTime::ZERO + cfg.duration.mul_f64(cfg.warmup_fraction.clamp(0.0, 0.9));
+    // Queries arriving after this instant are served but not measured; they
+    // could not complete before the horizon even when meeting the SLA.
+    let margin = cfg.drain_margin.min(cfg.duration.mul_f64(0.4));
+    let measure_end = SimTime::ZERO + (cfg.duration.saturating_sub(margin));
+    let measure_end = measure_end.max(warmup_start);
+
+    let mut stream = QueryStream::paper(offered, cfg.seed);
+    let all_queries = stream.take_until(horizon);
+    let queries: Vec<QueryRec> = all_queries
+        .iter()
+        .map(|q| QueryRec {
+            arrival: q.arrival,
+            ..QueryRec::default()
+        })
+        .collect();
+    let measured_arrivals = all_queries
+        .iter()
+        .filter(|q| q.arrival >= warmup_start && q.arrival < measure_end)
+        .count() as u64;
+
+    let front_threads = topo.front.as_ref().map_or(0, |f| f.threads);
+    let (back_threads, gpu_ctxs) = match &topo.back {
+        BackStage::None => (0, 0),
+        BackStage::HostPool { threads, .. } => (*threads, 0),
+        BackStage::Gpu { colocated, .. } => (0, *colocated),
+    };
+
+    let mut engine = Engine {
+        topo,
+        server,
+        horizon,
+        warmup_start,
+        measure_end,
+        heap: BinaryHeap::new(),
+        seq: 0,
+        queries,
+        all_queries,
+        front_queue: VecDeque::new(),
+        front_free: (0..front_threads).collect(),
+        back_queue: VecDeque::new(),
+        back_free: (0..back_threads).collect(),
+        fusion_buf: VecDeque::new(),
+        gpu_free: (0..gpu_ctxs).collect(),
+        pcie_free: SimTime::ZERO,
+        batches: Vec::new(),
+        latency: PercentileTracker::new(),
+        completed: 0,
+        measured_arrivals,
+        sum_queuing: 0.0,
+        sum_loading: 0.0,
+        sum_inference: 0.0,
+        buckets: Buckets::new(cfg.duration),
+        front_idle_weighted: 0.0,
+        front_busy_weight: 0.0,
+        total_nmp_j: 0.0,
+    };
+
+    let arrivals: Vec<SimTime> = engine.all_queries.iter().map(|q| q.arrival).collect();
+    for (i, t) in arrivals.into_iter().enumerate() {
+        engine.push(t, Ev::Arrival(i as u32));
+    }
+    engine.run();
+
+    // Assemble the report.
+    let duration_s = cfg.duration.as_secs_f64();
+    let window_s = (measure_end - warmup_start).as_secs_f64().max(1e-9);
+    let cores = server.cpu.cores as f64;
+    let cpu_activity =
+        (engine.buckets.cpu_core_s.iter().sum::<f64>() / (duration_s * cores)).min(1.0);
+    let peak_chan_bw = server.mem.peak_bw_gbs * 1e9;
+    let mem_activity =
+        (engine.buckets.chan_bytes.iter().sum::<f64>() / duration_s / peak_chan_bw).min(1.0);
+    let gpu_activity = (engine.buckets.gpu_s.iter().sum::<f64>() / duration_s).min(1.0);
+    let pcie_activity = (engine.buckets.pcie_s.iter().sum::<f64>() / duration_s).min(1.0);
+
+    let pm = PowerModel::new(server);
+    let mean_power = pm.power_at(Activity {
+        cpu: cpu_activity,
+        mem: mem_activity,
+        gpu: gpu_activity,
+    }) + Watts(engine.total_nmp_j / duration_s);
+
+    let width = engine.buckets.width_s;
+    let mut peak_power = Watts::ZERO;
+    for b in 0..POWER_BUCKETS {
+        let act = Activity {
+            cpu: engine.buckets.cpu_core_s[b] / (width * cores),
+            mem: engine.buckets.chan_bytes[b] / width / peak_chan_bw,
+            gpu: engine.buckets.gpu_s[b] / width,
+        };
+        let p = pm.power_at(act) + Watts(engine.buckets.nmp_j[b] / width);
+        peak_power = peak_power.max(p);
+    }
+
+    let completed = engine.completed;
+    let achieved = Qps(completed as f64 / window_s);
+    let mut lat = engine.latency;
+    let to_dur = |s: Option<f64>| SimDuration::from_secs_f64(s.unwrap_or(0.0));
+    let mean_latency = SimDuration::from_secs_f64(lat.mean());
+    let (p50, p95, p99) = (to_dur(lat.p50()), to_dur(lat.p95()), to_dur(lat.p99()));
+
+    let per = |sum: f64| {
+        if completed == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(sum / completed as f64)
+        }
+    };
+    let breakdown = LatencyBreakdown {
+        queuing: per(engine.sum_queuing),
+        loading: per(engine.sum_loading),
+        inference: per(engine.sum_inference),
+    };
+    let front_idle_fraction = if engine.front_busy_weight > 0.0 {
+        engine.front_idle_weighted / engine.front_busy_weight
+    } else {
+        0.0
+    };
+    let energy_per_query = if completed == 0 {
+        Joules::ZERO
+    } else {
+        Joules(mean_power.value() * window_s / completed as f64)
+    };
+
+    Ok(SimReport {
+        offered,
+        achieved,
+        measured_arrivals: engine.measured_arrivals,
+        completed,
+        mean_latency,
+        p50,
+        p95,
+        p99,
+        mean_power,
+        peak_power,
+        energy_per_query,
+        cpu_activity,
+        mem_activity,
+        gpu_activity,
+        pcie_activity,
+        front_idle_fraction,
+        breakdown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_hw::server::ServerType;
+    use hercules_model::zoo::{ModelKind, ModelScale};
+
+    fn quick() -> SimConfig {
+        SimConfig {
+            duration: SimDuration::from_secs(2),
+            warmup_fraction: 0.15,
+            drain_margin: SimDuration::ZERO,
+            seed: 7,
+        }
+    }
+
+    fn rmc1() -> RecModel {
+        RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production)
+    }
+
+    #[test]
+    fn low_load_completes_everything() {
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 10,
+            workers: 2,
+            batch: 256,
+        };
+        let r = simulate(&rmc1(), &server, &plan, Qps(100.0), &quick()).unwrap();
+        assert_eq!(r.completed, r.measured_arrivals);
+        assert!(r.p99 > SimDuration::ZERO);
+        assert!(r.p99 < SimDuration::from_millis(100), "p99 {}", r.p99);
+        assert!(r.mean_power.value() > 0.0);
+        assert!(r.peak_power >= r.mean_power);
+    }
+
+    #[test]
+    fn overload_saturates() {
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 10,
+            workers: 2,
+            batch: 256,
+        };
+        let lo = simulate(&rmc1(), &server, &plan, Qps(200.0), &quick()).unwrap();
+        let hi = simulate(&rmc1(), &server, &plan, Qps(50_000.0), &quick()).unwrap();
+        // At 50K QPS the server cannot keep up: post-warm-up arrivals sit
+        // behind an ever-growing queue, so the completion rate collapses
+        // far below the offered rate (what the SLA search keys on).
+        assert_eq!(lo.completed, lo.measured_arrivals);
+        assert!((hi.achieved.value()) < 0.5 * hi.offered.value());
+        assert!(hi.completed < hi.measured_arrivals);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 16,
+            workers: 1,
+            batch: 256,
+        };
+        let m = rmc1();
+        let lo = simulate(&m, &server, &plan, Qps(50.0), &quick()).unwrap();
+        let hi = simulate(&m, &server, &plan, Qps(1_800.0), &quick()).unwrap();
+        assert!(
+            hi.mean_latency > lo.mean_latency,
+            "queueing delay: {} vs {}",
+            hi.mean_latency,
+            lo.mean_latency
+        );
+        assert!(hi.cpu_activity > lo.cpu_activity);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 8,
+            workers: 2,
+            batch: 128,
+        };
+        let m = rmc1();
+        let a = simulate(&m, &server, &plan, Qps(400.0), &quick()).unwrap();
+        let b = simulate(&m, &server, &plan, Qps(400.0), &quick()).unwrap();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99, b.p99);
+        assert_eq!(a.mean_power, b.mean_power);
+    }
+
+    #[test]
+    fn sd_pipeline_runs() {
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuSdPipeline {
+            sparse_threads: 6,
+            sparse_workers: 2,
+            dense_threads: 8,
+            batch: 256,
+        };
+        let r = simulate(&rmc1(), &server, &plan, Qps(300.0), &quick()).unwrap();
+        assert_eq!(r.completed, r.measured_arrivals);
+        assert!(r.breakdown.loading == SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gpu_small_model_with_fusion() {
+        let server = ServerType::T7.spec();
+        let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Small);
+        let plan = PlacementPlan::GpuModel {
+            colocated: 3,
+            fusion_limit: Some(2000),
+            host_sparse_threads: 0,
+            host_batch: 256,
+        };
+        let r = simulate(&m, &server, &plan, Qps(2_000.0), &quick()).unwrap();
+        assert!(r.completed > 0);
+        assert!(r.gpu_activity > 0.0);
+        assert!(r.pcie_activity > 0.0);
+        assert!(r.breakdown.loading > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn gpu_fusion_beats_no_fusion_at_high_load() {
+        let server = ServerType::T7.spec();
+        let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Small);
+        let fused = PlacementPlan::GpuModel {
+            colocated: 3,
+            fusion_limit: Some(4000),
+            host_sparse_threads: 0,
+            host_batch: 256,
+        };
+        let unfused = PlacementPlan::GpuModel {
+            colocated: 3,
+            fusion_limit: None,
+            host_sparse_threads: 0,
+            host_batch: 256,
+        };
+        let rate = Qps(6_000.0);
+        let a = simulate(&m, &server, &fused, rate, &quick()).unwrap();
+        let b = simulate(&m, &server, &unfused, rate, &quick()).unwrap();
+        assert!(
+            a.completed as f64 > 1.2 * b.completed as f64,
+            "fusion {} vs none {}",
+            a.completed,
+            b.completed
+        );
+    }
+
+    #[test]
+    fn production_model_on_gpu_uses_host_stage() {
+        let server = ServerType::T7.spec();
+        let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Production);
+        let plan = PlacementPlan::GpuModel {
+            colocated: 2,
+            fusion_limit: Some(2000),
+            host_sparse_threads: 8,
+            host_batch: 256,
+        };
+        let r = simulate(&m, &server, &plan, Qps(500.0), &quick()).unwrap();
+        assert!(r.completed > 0);
+        assert!(r.cpu_activity > 0.0, "host cold-sparse stage active");
+        assert!(r.gpu_activity > 0.0);
+    }
+
+    #[test]
+    fn hybrid_sd_pipeline_runs() {
+        let server = ServerType::T7.spec();
+        let m = rmc1();
+        let plan = PlacementPlan::HybridSdPipeline {
+            sparse_threads: 10,
+            sparse_workers: 2,
+            gpu_colocated: 2,
+            fusion_limit: Some(2000),
+            batch: 256,
+        };
+        let r = simulate(&m, &server, &plan, Qps(500.0), &quick()).unwrap();
+        assert!(r.completed > 0);
+        assert!(r.gpu_activity > 0.0 && r.cpu_activity > 0.0);
+    }
+}

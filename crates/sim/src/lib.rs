@@ -1,0 +1,33 @@
+//! # hercules-sim
+//!
+//! Discrete-event server simulator for recommendation inference serving:
+//! query dispatching, sub-query splitting, accelerator query fusion, S-D
+//! pipelining, PCIe data loading, and SLA-aware metrics (tail latency,
+//! latency-bounded QPS, power). This is the reproduction's stand-in for the
+//! paper's real-system measurement harness (Fig. 13).
+//!
+//! ```no_run
+//! use hercules_sim::{simulate, PlacementPlan, SimConfig};
+//! use hercules_hw::server::ServerType;
+//! use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+//! use hercules_common::units::Qps;
+//!
+//! let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+//! let server = ServerType::T2.spec();
+//! let plan = PlacementPlan::CpuModel { threads: 10, workers: 2, batch: 256 };
+//! let report = simulate(&model, &server, &plan, Qps(500.0), &SimConfig::default())?;
+//! println!("p95 = {}, power = {}", report.p95, report.mean_power);
+//! # Ok::<(), hercules_sim::PlanError>(())
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod search;
+pub mod service;
+
+pub use config::{PlacementPlan, PlanError, SimConfig, SlaSpec};
+pub use engine::{simulate, simulate_with_topology};
+pub use metrics::{LatencyBreakdown, SimReport};
+pub use search::{max_qps_under_sla, SearchOptions, SlaSearchOutcome};
+pub use service::{build_topology, Topology};

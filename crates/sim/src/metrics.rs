@@ -1,0 +1,169 @@
+//! Simulation metrics: latency-bounded throughput, tail latency, power, and
+//! breakdowns (the paper's measured quantities, §V).
+
+use hercules_common::units::{Joules, Qps, SimDuration, Watts};
+
+use crate::config::SlaSpec;
+
+/// Mean attribution of end-to-end latency across pipeline phases
+/// (paper Fig. 7: queuing / data loading / model inference).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyBreakdown {
+    /// Mean time waiting in queues/buffers, per query.
+    pub queuing: SimDuration,
+    /// Mean host-to-device loading time, per query.
+    pub loading: SimDuration,
+    /// Mean inference (service) time, per query.
+    pub inference: SimDuration,
+}
+
+impl LatencyBreakdown {
+    /// Fractions of the three phases, summing to 1 (zeros if all empty).
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let q = self.queuing.as_secs_f64();
+        let l = self.loading.as_secs_f64();
+        let i = self.inference.as_secs_f64();
+        let total = q + l + i;
+        if total <= 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (q / total, l / total, i / total)
+        }
+    }
+}
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Offered arrival rate.
+    pub offered: Qps,
+    /// Completed-query throughput over the measurement window.
+    pub achieved: Qps,
+    /// Queries that arrived in the measurement window.
+    pub measured_arrivals: u64,
+    /// Of those, queries that completed before the horizon.
+    pub completed: u64,
+    /// Mean end-to-end query latency.
+    pub mean_latency: SimDuration,
+    /// Median latency.
+    pub p50: SimDuration,
+    /// 95th-percentile latency.
+    pub p95: SimDuration,
+    /// 99th-percentile latency.
+    pub p99: SimDuration,
+    /// Time-average server power.
+    pub mean_power: Watts,
+    /// Peak bucketed power (the provisioned-power budget `Power_{h,m}`).
+    pub peak_power: Watts,
+    /// Energy per completed query.
+    pub energy_per_query: Joules,
+    /// Mean fraction of CPU cores busy.
+    pub cpu_activity: f64,
+    /// Mean DRAM channel-bandwidth utilization.
+    pub mem_activity: f64,
+    /// Mean GPU utilization.
+    pub gpu_activity: f64,
+    /// Mean PCIe link utilization.
+    pub pcie_activity: f64,
+    /// Mean op-worker idle fraction in the host front stage (Fig. 5).
+    pub front_idle_fraction: f64,
+    /// Latency attribution.
+    pub breakdown: LatencyBreakdown,
+}
+
+impl SimReport {
+    /// The tail latency at `percentile` (supported: 0.5, 0.95, 0.99;
+    /// other values snap to the nearest of those).
+    pub fn tail(&self, percentile: f64) -> SimDuration {
+        if percentile <= 0.725 {
+            self.p50
+        } else if percentile <= 0.97 {
+            self.p95
+        } else {
+            self.p99
+        }
+    }
+
+    /// Whether the run satisfies `sla`: the tail is within target *and* the
+    /// server kept up with the offered load (no saturation).
+    pub fn meets(&self, sla: &SlaSpec) -> bool {
+        if self.measured_arrivals == 0 {
+            return false;
+        }
+        let kept_up = self.completed as f64 >= 0.97 * self.measured_arrivals as f64;
+        kept_up && self.tail(sla.percentile) <= sla.target
+    }
+
+    /// Energy efficiency in queries per second per watt (the paper's
+    /// QPS-per-Watt classification metric).
+    pub fn qps_per_watt(&self) -> f64 {
+        if self.mean_power.value() <= 0.0 {
+            0.0
+        } else {
+            self.achieved.value() / self.mean_power.value()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            offered: Qps(1000.0),
+            achieved: Qps(990.0),
+            measured_arrivals: 1000,
+            completed: 990,
+            mean_latency: SimDuration::from_millis(8),
+            p50: SimDuration::from_millis(6),
+            p95: SimDuration::from_millis(18),
+            p99: SimDuration::from_millis(30),
+            mean_power: Watts(200.0),
+            peak_power: Watts(260.0),
+            energy_per_query: Joules(0.2),
+            cpu_activity: 0.6,
+            mem_activity: 0.4,
+            gpu_activity: 0.0,
+            pcie_activity: 0.0,
+            front_idle_fraction: 0.3,
+            breakdown: LatencyBreakdown {
+                queuing: SimDuration::from_millis(2),
+                loading: SimDuration::from_millis(1),
+                inference: SimDuration::from_millis(5),
+            },
+        }
+    }
+
+    #[test]
+    fn tail_snaps_to_percentiles() {
+        let r = report();
+        assert_eq!(r.tail(0.5), SimDuration::from_millis(6));
+        assert_eq!(r.tail(0.95), SimDuration::from_millis(18));
+        assert_eq!(r.tail(0.99), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn sla_checks_tail_and_saturation() {
+        let r = report();
+        assert!(r.meets(&SlaSpec::p95(SimDuration::from_millis(20))));
+        assert!(!r.meets(&SlaSpec::p95(SimDuration::from_millis(10))));
+        let mut saturated = report();
+        saturated.completed = 900;
+        assert!(!saturated.meets(&SlaSpec::p95(SimDuration::from_millis(20))));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let (q, l, i) = report().breakdown.fractions();
+        assert!((q + l + i - 1.0).abs() < 1e-12);
+        assert!((q - 0.25).abs() < 1e-12);
+        let empty = LatencyBreakdown::default().fractions();
+        assert_eq!(empty, (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn qps_per_watt() {
+        assert!((report().qps_per_watt() - 4.95).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,242 @@
+//! Latency-bounded throughput measurement: the `QPS_{h,m}` half of the
+//! efficiency tuple (paper Fig. 9b).
+//!
+//! Finds the highest Poisson arrival rate a configuration sustains while
+//! meeting the SLA, by geometric ramp + binary search over simulations.
+
+use hercules_common::units::Qps;
+use hercules_hw::server::ServerSpec;
+use hercules_model::zoo::RecModel;
+
+use crate::config::{PlacementPlan, PlanError, SimConfig, SlaSpec};
+use crate::engine::simulate_with_topology;
+use crate::metrics::SimReport;
+use crate::service::build_topology;
+
+/// Result of a latency-bounded throughput search.
+#[derive(Debug, Clone)]
+pub struct SlaSearchOutcome {
+    /// Highest sustainable rate found.
+    pub qps: Qps,
+    /// The simulation report at that rate.
+    pub report: SimReport,
+}
+
+/// Options for [`max_qps_under_sla`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Starting probe rate.
+    pub start: Qps,
+    /// Binary-search refinement iterations after bracketing.
+    pub refine_iters: u32,
+    /// Hard ceiling on probed rates.
+    pub ceiling: Qps,
+    /// When set, each probe's simulated duration is shortened so roughly
+    /// this many queries are generated (bounded below by 400 ms and above
+    /// by the configured duration) — keeps high-rate probes cheap.
+    pub target_queries: Option<u32>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            start: Qps(64.0),
+            refine_iters: 6,
+            ceiling: Qps(4_000_000.0),
+            target_queries: Some(4_000),
+        }
+    }
+}
+
+/// Finds the maximum arrival rate under `sla` for `(model, server, plan)`.
+///
+/// Returns `Ok(None)` when even the starting probe rate violates the SLA
+/// (the configuration cannot serve meaningful load within target).
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the plan is infeasible on this server/model.
+pub fn max_qps_under_sla(
+    model: &RecModel,
+    server: &ServerSpec,
+    plan: &PlacementPlan,
+    sla: &SlaSpec,
+    cfg: &SimConfig,
+    opts: &SearchOptions,
+) -> Result<Option<SlaSearchOutcome>, PlanError> {
+    let topo = build_topology(model, server, plan)?;
+    let eval = |rate: Qps| {
+        let mut run_cfg = *cfg;
+        if let Some(target) = opts.target_queries {
+            // Size the run by query count, not wall time: low-rate probes
+            // stretch their horizon (they are cheap — few events), keeping
+            // tail-percentile estimates equally sampled at every rate.
+            let want = hercules_common::units::SimDuration::from_secs_f64(
+                (target as f64 / rate.value()).clamp(0.4, 900.0),
+            );
+            run_cfg.duration = want;
+        }
+        // SLA-compliant queries arriving within ~2 targets of the horizon
+        // could not drain in time; exclude them from measurement so low-rate
+        // probes are not penalized for end-of-run truncation.
+        run_cfg.drain_margin = run_cfg.drain_margin.max(sla.target * 2);
+        simulate_with_topology(&topo, server, rate, &run_cfg).expect("topology built")
+    };
+
+    // Geometric ramp to bracket the knee.
+    let mut lo_rate = opts.start;
+    let mut lo_report = eval(lo_rate);
+    if !lo_report.meets(sla) {
+        // Try once more at a whisper of load before giving up: some heavy
+        // models legitimately serve only tens of QPS.
+        let tiny = Qps(opts.start.value() / 8.0);
+        let tiny_report = eval(tiny);
+        if !tiny_report.meets(sla) {
+            return Ok(None);
+        }
+        lo_rate = tiny;
+        lo_report = tiny_report;
+    }
+
+    let mut hi_rate = None;
+    let mut probe = Qps(lo_rate.value() * 2.0);
+    while probe.value() <= opts.ceiling.value() {
+        let r = eval(probe);
+        if r.meets(sla) {
+            lo_rate = probe;
+            lo_report = r;
+            probe = Qps(probe.value() * 2.0);
+        } else {
+            hi_rate = Some(probe);
+            break;
+        }
+    }
+    let Some(mut hi) = hi_rate else {
+        // Never violated up to the ceiling.
+        return Ok(Some(SlaSearchOutcome {
+            qps: lo_rate,
+            report: lo_report,
+        }));
+    };
+
+    // Binary refinement.
+    for _ in 0..opts.refine_iters {
+        let mid = Qps((lo_rate.value() + hi.value()) / 2.0);
+        let r = eval(mid);
+        if r.meets(sla) {
+            lo_rate = mid;
+            lo_report = r;
+        } else {
+            hi = mid;
+        }
+    }
+
+    Ok(Some(SlaSearchOutcome {
+        qps: lo_rate,
+        report: lo_report,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_common::units::SimDuration;
+    use hercules_hw::server::ServerType;
+    use hercules_model::zoo::{ModelKind, ModelScale};
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            duration: SimDuration::from_millis(1200),
+            warmup_fraction: 0.15,
+            drain_margin: SimDuration::ZERO,
+            seed: 3,
+        }
+    }
+
+    fn opts() -> SearchOptions {
+        SearchOptions {
+            start: Qps(64.0),
+            refine_iters: 4,
+            ceiling: Qps(1_000_000.0),
+            target_queries: Some(2_000),
+        }
+    }
+
+    #[test]
+    fn finds_a_positive_knee() {
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 10,
+            workers: 2,
+            batch: 256,
+        };
+        let out = max_qps_under_sla(
+            &m,
+            &server,
+            &plan,
+            &SlaSpec::p95(SimDuration::from_millis(40)),
+            &cfg(),
+            &opts(),
+        )
+        .unwrap()
+        .expect("reasonable config sustains load");
+        assert!(out.qps.value() > 64.0, "qps {}", out.qps);
+        assert!(out.report.meets(&SlaSpec::p95(SimDuration::from_millis(40))));
+    }
+
+    #[test]
+    fn looser_sla_never_hurts() {
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 16,
+            workers: 1,
+            batch: 128,
+        };
+        let tight = max_qps_under_sla(
+            &m,
+            &server,
+            &plan,
+            &SlaSpec::p95(SimDuration::from_millis(15)),
+            &cfg(),
+            &opts(),
+        )
+        .unwrap();
+        let loose = max_qps_under_sla(
+            &m,
+            &server,
+            &plan,
+            &SlaSpec::p95(SimDuration::from_millis(120)),
+            &cfg(),
+            &opts(),
+        )
+        .unwrap()
+        .expect("loose SLA feasible");
+        if let Some(t) = tight {
+            assert!(loose.qps.value() >= 0.8 * t.qps.value());
+        }
+    }
+
+    #[test]
+    fn impossible_sla_returns_none() {
+        let m = RecModel::build(ModelKind::DlrmRmc2, ModelScale::Production);
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads: 4,
+            workers: 1,
+            batch: 1024,
+        };
+        // 100us SLA is unachievable for a heavy sparse model on CPU.
+        let out = max_qps_under_sla(
+            &m,
+            &server,
+            &plan,
+            &SlaSpec::p95(SimDuration::from_micros(100)),
+            &cfg(),
+            &opts(),
+        )
+        .unwrap();
+        assert!(out.is_none());
+    }
+}

@@ -1,0 +1,295 @@
+//! Branch-and-bound integer programming over the LP relaxation.
+//!
+//! Server counts `N_{h,m}` are integral; the provisioning layer solves the
+//! LP relaxation of Eq. (1)–(3) and branches on fractional counts. The
+//! provisioning polytopes are transportation-like, so relaxations are
+//! near-integral and the tree stays tiny; a node cap guards pathological
+//! inputs.
+
+use crate::lp::{LinearProgram, LpStatus, Relation};
+use crate::simplex::solve_simplex;
+
+const INT_TOL: f64 = 1e-6;
+
+/// Options for [`solve_ilp`].
+#[derive(Debug, Clone, Copy)]
+pub struct IlpOptions {
+    /// Maximum branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Known feasible objective value (e.g. from a rounding heuristic):
+    /// nodes whose relaxation cannot beat it are pruned immediately, which
+    /// collapses the tree on large instances.
+    pub upper_bound: Option<f64>,
+}
+
+impl Default for IlpOptions {
+    fn default() -> Self {
+        IlpOptions {
+            max_nodes: 20_000,
+            upper_bound: None,
+        }
+    }
+}
+
+/// An integer solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IlpSolution {
+    /// Verdict: [`LpStatus::Optimal`] when the tree was exhausted,
+    /// [`LpStatus::IterationLimit`] when the node cap was hit but an
+    /// incumbent exists, [`LpStatus::Infeasible`] when no integral point
+    /// satisfies the constraints.
+    pub status: LpStatus,
+    /// The best integral point found (rounded exactly to integers).
+    pub x: Vec<f64>,
+    /// Objective at `x`.
+    pub objective: f64,
+    /// Nodes explored.
+    pub nodes: usize,
+}
+
+fn is_integral(x: &[f64]) -> bool {
+    x.iter().all(|&v| (v - v.round()).abs() <= INT_TOL)
+}
+
+fn most_fractional(x: &[f64]) -> Option<usize> {
+    let mut best = None;
+    let mut best_frac = INT_TOL;
+    for (i, &v) in x.iter().enumerate() {
+        let frac = (v - v.round()).abs();
+        if frac > best_frac {
+            best_frac = frac;
+            best = Some(i);
+        }
+    }
+    best
+}
+
+/// Solves `lp` with all variables required integral (and non-negative).
+///
+/// Depth-first branch and bound with best-objective pruning; branches on the
+/// most fractional variable.
+pub fn solve_ilp(lp: &LinearProgram, opts: &IlpOptions) -> IlpSolution {
+    let n = lp.num_vars();
+    let mut incumbent: Option<(Vec<f64>, f64)> = None;
+    let mut nodes = 0usize;
+    // Each node is the base LP plus extra bound rows.
+    let mut stack: Vec<Vec<(usize, Relation, f64)>> = vec![vec![]];
+    let mut exhausted = true;
+
+    while let Some(extra) = stack.pop() {
+        if nodes >= opts.max_nodes {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+
+        let mut node_lp = lp.clone();
+        for &(var, rel, bound) in &extra {
+            let mut row = vec![0.0; n];
+            row[var] = 1.0;
+            node_lp.constrain(row, rel, bound);
+        }
+        let relax = solve_simplex(&node_lp);
+        match relax.status {
+            LpStatus::Optimal => {}
+            LpStatus::Infeasible => continue,
+            // Unbounded relaxation at the root means an unbounded ILP (or a
+            // modeling error); deeper nodes inherit boundedness from bounds.
+            LpStatus::Unbounded => {
+                return IlpSolution {
+                    status: LpStatus::Unbounded,
+                    x: vec![0.0; n],
+                    objective: 0.0,
+                    nodes,
+                };
+            }
+            LpStatus::IterationLimit => continue,
+        }
+
+        // Prune by bound (incumbent or externally-supplied upper bound).
+        let bound = match (&incumbent, opts.upper_bound) {
+            (Some((_, b)), Some(ub)) => Some(b.min(ub)),
+            (Some((_, b)), None) => Some(*b),
+            (None, ub) => ub,
+        };
+        if let Some(best) = bound {
+            if relax.objective >= best - 1e-9 {
+                continue;
+            }
+        }
+
+        if is_integral(&relax.x) {
+            let rounded: Vec<f64> = relax.x.iter().map(|v| v.round()).collect();
+            let obj = lp.objective_at(&rounded);
+            let better = incumbent
+                .as_ref()
+                .map_or(true, |(_, best)| obj < best - 1e-9);
+            if better {
+                incumbent = Some((rounded, obj));
+            }
+            continue;
+        }
+
+        let var = most_fractional(&relax.x).expect("non-integral point has a fractional var");
+        let v = relax.x[var];
+        // Explore the "round down" child first (cheaper for minimization
+        // with non-negative costs), by pushing it last.
+        let mut up = extra.clone();
+        up.push((var, Relation::Ge, v.ceil()));
+        stack.push(up);
+        let mut down = extra;
+        down.push((var, Relation::Le, v.floor()));
+        stack.push(down);
+    }
+
+    match incumbent {
+        Some((x, objective)) => IlpSolution {
+            status: if exhausted {
+                LpStatus::Optimal
+            } else {
+                LpStatus::IterationLimit
+            },
+            x,
+            objective,
+            nodes,
+        },
+        None => IlpSolution {
+            status: if exhausted {
+                LpStatus::Infeasible
+            } else {
+                LpStatus::IterationLimit
+            },
+            x: vec![0.0; n],
+            objective: 0.0,
+            nodes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::LinearProgram;
+
+    /// Exhaustive search over a small box, for cross-validation.
+    fn brute_force(lp: &LinearProgram, hi: i64) -> Option<(Vec<f64>, f64)> {
+        let n = lp.num_vars();
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        let mut x = vec![0i64; n];
+        loop {
+            let xf: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+            if lp.is_feasible(&xf, 1e-9) {
+                let obj = lp.objective_at(&xf);
+                if best.as_ref().map_or(true, |(_, b)| obj < b - 1e-12) {
+                    best = Some((xf, obj));
+                }
+            }
+            // Increment odometer.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return best;
+                }
+                x[i] += 1;
+                if x[i] > hi {
+                    x[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knapsack_like_problem() {
+        // min 5a + 4b s.t. 2a + 3b >= 12, a <= 4, b <= 4.
+        let mut lp = LinearProgram::minimize(vec![5.0, 4.0]);
+        lp.constrain(vec![2.0, 3.0], Relation::Ge, 12.0);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.constrain(vec![0.0, 1.0], Relation::Le, 4.0);
+        let s = solve_ilp(&lp, &IlpOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        let (_, brute_obj) = brute_force(&lp, 5).unwrap();
+        assert!((s.objective - brute_obj).abs() < 1e-9, "{} vs {brute_obj}", s.objective);
+    }
+
+    #[test]
+    fn fractional_relaxation_forces_branching() {
+        // Relaxation optimum is fractional: min a + b s.t. 2a + 2b >= 3.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![2.0, 2.0], Relation::Ge, 3.0);
+        let s = solve_ilp(&lp, &IlpOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-9, "need two units: {}", s.objective);
+        assert!(s.nodes > 1, "must have branched");
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 2a == 3 has no integer solution.
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![2.0], Relation::Eq, 3.0);
+        let s = solve_ilp(&lp, &IlpOptions::default());
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn matches_brute_force_on_provisioning_instances() {
+        // Randomized-but-deterministic mini provisioning problems.
+        let mut state = 42u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as f64 / 1000.0
+        };
+        for _trial in 0..8 {
+            // 2 workloads x 2 types.
+            let qps = [
+                [50.0 + 200.0 * rnd(), 50.0 + 200.0 * rnd()],
+                [50.0 + 200.0 * rnd(), 50.0 + 200.0 * rnd()],
+            ];
+            let power = [100.0 + 300.0 * rnd(), 100.0 + 300.0 * rnd()];
+            let cap = [3.0 + (4.0 * rnd()).floor(), 3.0 + (4.0 * rnd()).floor()];
+            let load = [150.0 + 250.0 * rnd(), 150.0 + 250.0 * rnd()];
+            let mut lp = LinearProgram::minimize(vec![power[0], power[1], power[0], power[1]]);
+            for w in 0..2 {
+                let mut row = vec![0.0; 4];
+                row[w * 2] = qps[w][0];
+                row[w * 2 + 1] = qps[w][1];
+                lp.constrain(row, Relation::Ge, load[w]);
+            }
+            for t in 0..2 {
+                let mut row = vec![0.0; 4];
+                row[t] = 1.0;
+                row[2 + t] = 1.0;
+                lp.constrain(row, Relation::Le, cap[t]);
+            }
+            let s = solve_ilp(&lp, &IlpOptions::default());
+            let brute = brute_force(&lp, 8);
+            match brute {
+                Some((_, brute_obj)) => {
+                    assert_eq!(s.status, LpStatus::Optimal);
+                    assert!(
+                        (s.objective - brute_obj).abs() < 1e-6,
+                        "ilp {} vs brute {brute_obj}",
+                        s.objective
+                    );
+                }
+                None => assert_eq!(s.status, LpStatus::Infeasible),
+            }
+        }
+    }
+
+    #[test]
+    fn integral_solution_is_integral() {
+        let mut lp = LinearProgram::minimize(vec![3.0, 2.0, 4.0]);
+        lp.constrain(vec![1.0, 1.0, 1.0], Relation::Ge, 7.3);
+        lp.constrain(vec![1.0, 0.0, 0.0], Relation::Le, 3.0);
+        let s = solve_ilp(&lp, &IlpOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        for v in &s.x {
+            assert_eq!(*v, v.round());
+        }
+        assert!(lp.is_feasible(&s.x, 1e-9));
+    }
+}

@@ -1,0 +1,29 @@
+//! # hercules-solver
+//!
+//! From-scratch optimization solvers for Hercules cluster provisioning
+//! (paper Eq. (1)–(3)): a two-phase primal simplex, a primal-dual
+//! interior-point method (the paper's solver of choice, §V), and
+//! branch-and-bound for integral server counts. No external linear-algebra
+//! dependencies.
+//!
+//! ```
+//! use hercules_solver::lp::{LinearProgram, Relation};
+//! use hercules_solver::simplex::solve_simplex;
+//!
+//! // Minimize provisioned power: 200W and 450W server types, >= 900 QPS.
+//! let mut lp = LinearProgram::minimize(vec![200.0, 450.0]);
+//! lp.constrain(vec![100.0, 300.0], Relation::Ge, 900.0);
+//! let sol = solve_simplex(&lp);
+//! assert!((sol.objective - 1350.0).abs() < 1e-6);
+//! ```
+
+pub mod ilp;
+pub mod interior;
+pub mod lp;
+pub mod matrix;
+pub mod simplex;
+
+pub use ilp::{solve_ilp, IlpOptions, IlpSolution};
+pub use interior::solve_interior_point;
+pub use lp::{LinearProgram, LpSolution, LpStatus, Relation};
+pub use simplex::solve_simplex;

@@ -1,0 +1,374 @@
+//! Two-phase primal simplex with Bland's anti-cycling rule.
+//!
+//! Dense tableau implementation sized for the provisioning problems of
+//! Eq. (1)–(3): `H x M` variables (≤ a few hundred) and `H + M` constraints.
+
+use crate::lp::{LinearProgram, LpSolution, LpStatus, Relation};
+
+const TOL: f64 = 1e-9;
+const MAX_ITERS: usize = 50_000;
+
+struct Tableau {
+    /// Constraint rows (m x total_cols).
+    a: Vec<Vec<f64>>,
+    /// Right-hand sides (all >= 0 at build time).
+    b: Vec<f64>,
+    /// Basic variable per row.
+    basis: Vec<usize>,
+    /// Reduced-cost row.
+    red: Vec<f64>,
+    /// Current objective value.
+    obj: f64,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > TOL, "pivot too small");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        self.b[row] *= inv;
+        for r in 0..self.a.len() {
+            if r == row {
+                continue;
+            }
+            let f = self.a[r][col];
+            if f.abs() <= TOL {
+                continue;
+            }
+            for c in 0..self.a[r].len() {
+                let delta = f * self.a[row][c];
+                self.a[r][c] -= delta;
+            }
+            self.b[r] -= f * self.b[row];
+            if self.b[r].abs() < TOL {
+                self.b[r] = 0.0;
+            }
+        }
+        let f = self.red[col];
+        if f.abs() > TOL {
+            for c in 0..self.red.len() {
+                self.red[c] -= f * self.a[row][c];
+            }
+            // The objective moves by (reduced cost) x (entering step).
+            self.obj += f * self.b[row];
+        }
+        self.basis[row] = col;
+    }
+
+    /// Recomputes reduced costs and objective for `cost`.
+    fn price(&mut self, cost: &[f64]) {
+        let m = self.a.len();
+        let cols = cost.len();
+        self.red = cost.to_vec();
+        self.obj = 0.0;
+        for r in 0..m {
+            let cb = cost[self.basis[r]];
+            if cb == 0.0 {
+                continue;
+            }
+            for c in 0..cols {
+                self.red[c] -= cb * self.a[r][c];
+            }
+            self.obj += cb * self.b[r];
+        }
+    }
+
+    /// Runs the simplex loop with Bland's rule over columns `< eligible`.
+    fn optimize(&mut self, eligible: usize) -> LpStatus {
+        for _ in 0..MAX_ITERS {
+            // Bland: entering = lowest-index column with negative reduced cost.
+            let Some(col) = (0..eligible).find(|&c| self.red[c] < -TOL) else {
+                return LpStatus::Optimal;
+            };
+            // Ratio test; Bland tie-break on lowest basis variable index.
+            let mut best: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                let a = self.a[r][col];
+                if a > TOL {
+                    let ratio = self.b[r] / a;
+                    let better = match best {
+                        None => true,
+                        Some((br, bratio)) => {
+                            ratio < bratio - TOL
+                                || ((ratio - bratio).abs() <= TOL
+                                    && self.basis[r] < self.basis[br])
+                        }
+                    };
+                    if better {
+                        best = Some((r, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = best else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(row, col);
+        }
+        LpStatus::IterationLimit
+    }
+}
+
+/// Solves `lp` with the two-phase primal simplex method.
+///
+/// Variables are implicitly bounded below by zero. The returned
+/// [`LpSolution::x`] is the optimal basic feasible solution when the status
+/// is [`LpStatus::Optimal`].
+pub fn solve_simplex(lp: &LinearProgram) -> LpSolution {
+    let n = lp.num_vars();
+    let cons = lp.constraints();
+    let m = cons.len();
+
+    if m == 0 {
+        // min c.x over x >= 0: bounded iff c >= 0, optimum at the origin.
+        if lp.objective().iter().any(|&c| c < -TOL) {
+            return LpSolution {
+                status: LpStatus::Unbounded,
+                x: vec![0.0; n],
+                objective: 0.0,
+            };
+        }
+        return LpSolution {
+            status: LpStatus::Optimal,
+            x: vec![0.0; n],
+            objective: 0.0,
+        };
+    }
+
+    // Normalize rows so rhs >= 0, then count slack and artificial columns.
+    let mut rows: Vec<(Vec<f64>, Relation, f64)> = cons
+        .iter()
+        .map(|c| {
+            if c.rhs < 0.0 {
+                let flipped = match c.relation {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                (c.coeffs.iter().map(|v| -v).collect(), flipped, -c.rhs)
+            } else {
+                (c.coeffs.clone(), c.relation, c.rhs)
+            }
+        })
+        .collect();
+
+    let n_slack = rows
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, r, _)| matches!(r, Relation::Ge | Relation::Eq))
+        .count();
+    let total = n + n_slack + n_art;
+
+    let mut a = vec![vec![0.0; total]; m];
+    let mut b = vec![0.0; m];
+    let mut basis = vec![0usize; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    for (r, (coeffs, rel, rhs)) in rows.drain(..).enumerate() {
+        a[r][..n].copy_from_slice(&coeffs);
+        b[r] = rhs;
+        match rel {
+            Relation::Le => {
+                a[r][slack_idx] = 1.0;
+                basis[r] = slack_idx;
+                slack_idx += 1;
+            }
+            Relation::Ge => {
+                a[r][slack_idx] = -1.0;
+                slack_idx += 1;
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+            Relation::Eq => {
+                a[r][art_idx] = 1.0;
+                basis[r] = art_idx;
+                art_idx += 1;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        b,
+        basis,
+        red: vec![],
+        obj: 0.0,
+    };
+
+    // Phase 1: minimize the sum of artificials.
+    if n_art > 0 {
+        let mut phase1_cost = vec![0.0; total];
+        for c in phase1_cost.iter_mut().skip(n + n_slack) {
+            *c = 1.0;
+        }
+        t.price(&phase1_cost);
+        match t.optimize(total) {
+            LpStatus::Optimal => {}
+            other => {
+                return LpSolution {
+                    status: other,
+                    x: vec![0.0; n],
+                    objective: 0.0,
+                }
+            }
+        }
+        if t.obj > 1e-7 {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                x: vec![0.0; n],
+                objective: 0.0,
+            };
+        }
+        // Drive remaining artificials out of the basis.
+        let art_start = n + n_slack;
+        for r in 0..t.a.len() {
+            if t.basis[r] >= art_start {
+                if let Some(col) = (0..art_start).find(|&c| t.a[r][c].abs() > TOL) {
+                    t.pivot(r, col);
+                }
+                // Else: redundant row; the artificial stays basic at zero and
+                // artificial columns are excluded from phase 2 entering.
+            }
+        }
+    }
+
+    // Phase 2 with the true objective (artificials ineligible to enter).
+    let mut phase2_cost = vec![0.0; total];
+    phase2_cost[..n].copy_from_slice(lp.objective());
+    t.price(&phase2_cost);
+    let status = t.optimize(n + n_slack);
+    if status != LpStatus::Optimal {
+        return LpSolution {
+            status,
+            x: vec![0.0; n],
+            objective: 0.0,
+        };
+    }
+
+    let mut x = vec![0.0; n];
+    for (r, &bv) in t.basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = t.b[r];
+        }
+    }
+    let objective = lp.objective_at(&x);
+    LpSolution {
+        status: LpStatus::Optimal,
+        x,
+        objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::{LinearProgram, Relation};
+
+    #[test]
+    fn textbook_maximization_as_min() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18
+        // -> min -3x - 5y; optimum x=2, y=6, obj=-36.
+        let mut lp = LinearProgram::minimize(vec![-3.0, -5.0]);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 4.0);
+        lp.constrain(vec![0.0, 2.0], Relation::Le, 12.0);
+        lp.constrain(vec![3.0, 2.0], Relation::Le, 18.0);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.x[0] - 2.0).abs() < 1e-8);
+        assert!((s.x[1] - 6.0).abs() < 1e-8);
+        assert!((s.objective + 36.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn phase1_handles_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x <= 8 -> x=8, y=2, obj=22.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.constrain(vec![1.0, 1.0], Relation::Ge, 10.0);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 8.0);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 22.0).abs() < 1e-8, "obj {}", s.objective);
+        assert!(lp.is_feasible(&s.x, 1e-8));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 6, x >= 0 -> y=3, x=0, obj=3.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 2.0], Relation::Eq, 6.0);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.constrain(vec![1.0], Relation::Le, 1.0);
+        lp.constrain(vec![1.0], Relation::Ge, 2.0);
+        assert_eq!(solve_simplex(&lp).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with only x >= 1: unbounded below.
+        let mut lp = LinearProgram::minimize(vec![-1.0]);
+        lp.constrain(vec![1.0], Relation::Ge, 1.0);
+        assert_eq!(solve_simplex(&lp).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn unconstrained_origin() {
+        let lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_eq!(s.x, vec![0.0, 0.0]);
+        let neg = LinearProgram::minimize(vec![-1.0]);
+        assert_eq!(solve_simplex(&neg).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -2 means y >= x + 2; min y -> x=0, y=2.
+        let mut lp = LinearProgram::minimize(vec![0.0, 1.0]);
+        lp.constrain(vec![1.0, -1.0], Relation::Le, -2.0);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints at the same vertex.
+        let mut lp = LinearProgram::minimize(vec![-1.0, -1.0]);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 1.0);
+        lp.constrain(vec![0.0, 1.0], Relation::Le, 1.0);
+        lp.constrain(vec![1.0, 1.0], Relation::Le, 2.0);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn provisioning_shaped_problem() {
+        // Two server types, one workload: minimize power subject to QPS.
+        // Type A: 100 QPS @ 200 W; type B: 300 QPS @ 450 W; need 900 QPS,
+        // at most 5 of each. B is more efficient: expect 3 B servers.
+        let mut lp = LinearProgram::minimize(vec![200.0, 450.0]);
+        lp.constrain(vec![100.0, 300.0], Relation::Ge, 900.0);
+        lp.constrain(vec![1.0, 0.0], Relation::Le, 5.0);
+        lp.constrain(vec![0.0, 1.0], Relation::Le, 5.0);
+        let s = solve_simplex(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.x[0].abs() < 1e-8);
+        assert!((s.x[1] - 3.0).abs() < 1e-8);
+        assert!((s.objective - 1350.0).abs() < 1e-8);
+    }
+}

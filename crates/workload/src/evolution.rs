@@ -1,0 +1,129 @@
+//! Model-evolution schedule (paper §VI-C, Fig. 16a).
+//!
+//! Production recommendation models evolve: the paper mimics this by
+//! linearly shifting incoming load from an *old* model set (DLRM-RMC1/2/3)
+//! to a *new*, more complex set (DIN, DIEN, MT-WnD) over a model-update
+//! cycle. Day D1 and D2 snapshots (20% of load re-routed between them) feed
+//! the Fig. 16/17 cluster experiments.
+
+use hercules_model::zoo::ModelKind;
+
+/// A linear old→new load-mix schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvolutionSchedule {
+    old_models: Vec<ModelKind>,
+    new_models: Vec<ModelKind>,
+    cycle_days: f64,
+}
+
+impl EvolutionSchedule {
+    /// Creates a schedule shifting from `old_models` to `new_models` over
+    /// `cycle_days` days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either set is empty or the cycle is not positive.
+    pub fn new(old_models: Vec<ModelKind>, new_models: Vec<ModelKind>, cycle_days: f64) -> Self {
+        assert!(!old_models.is_empty() && !new_models.is_empty());
+        assert!(cycle_days > 0.0, "cycle must be positive");
+        EvolutionSchedule {
+            old_models,
+            new_models,
+            cycle_days,
+        }
+    }
+
+    /// The paper's schedule: RMC1/2/3 replaced by DIN/DIEN/MT-WnD linearly
+    /// over a 10-day cycle (Day-D2 routes 20% more load to new models than
+    /// Day-D1, so consecutive snapshot days are 2 days apart).
+    pub fn paper() -> Self {
+        EvolutionSchedule::new(
+            vec![ModelKind::DlrmRmc1, ModelKind::DlrmRmc2, ModelKind::DlrmRmc3],
+            vec![ModelKind::Din, ModelKind::Dien, ModelKind::MtWnd],
+            10.0,
+        )
+    }
+
+    /// Cycle length in days.
+    pub fn cycle_days(&self) -> f64 {
+        self.cycle_days
+    }
+
+    /// Fraction of load routed to new models at `day` (clamped linear ramp).
+    pub fn new_fraction(&self, day: f64) -> f64 {
+        (day / self.cycle_days).clamp(0.0, 1.0)
+    }
+
+    /// The load mix at `day`: `(model, share)` pairs summing to 1.
+    ///
+    /// Shares are uniform within each set.
+    pub fn mix_at(&self, day: f64) -> Vec<(ModelKind, f64)> {
+        let alpha = self.new_fraction(day);
+        let mut mix = Vec::with_capacity(self.old_models.len() + self.new_models.len());
+        let old_share = (1.0 - alpha) / self.old_models.len() as f64;
+        for &m in &self.old_models {
+            mix.push((m, old_share));
+        }
+        let new_share = alpha / self.new_models.len() as f64;
+        for &m in &self.new_models {
+            mix.push((m, new_share));
+        }
+        mix
+    }
+
+    /// The paper's Day-D1 / Day-D2 snapshot days (20% of load apart).
+    pub fn snapshot_days(&self) -> (f64, f64) {
+        (0.4 * self.cycle_days, 0.6 * self.cycle_days)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_sums_to_one() {
+        let s = EvolutionSchedule::paper();
+        for day in [0.0, 2.5, 5.0, 7.5, 10.0, 15.0] {
+            let total: f64 = s.mix_at(day).iter().map(|&(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-12, "day {day}: {total}");
+        }
+    }
+
+    #[test]
+    fn ramp_is_linear_and_clamped() {
+        let s = EvolutionSchedule::paper();
+        assert_eq!(s.new_fraction(0.0), 0.0);
+        assert_eq!(s.new_fraction(5.0), 0.5);
+        assert_eq!(s.new_fraction(10.0), 1.0);
+        assert_eq!(s.new_fraction(20.0), 1.0);
+        assert_eq!(s.new_fraction(-1.0), 0.0);
+    }
+
+    #[test]
+    fn endpoints_are_pure_sets() {
+        let s = EvolutionSchedule::paper();
+        let start = s.mix_at(0.0);
+        assert!(start
+            .iter()
+            .filter(|&&(m, _)| matches!(m, ModelKind::Din | ModelKind::Dien | ModelKind::MtWnd))
+            .all(|&(_, f)| f == 0.0));
+        let end = s.mix_at(10.0);
+        assert!(end
+            .iter()
+            .filter(|&&(m, _)| {
+                matches!(
+                    m,
+                    ModelKind::DlrmRmc1 | ModelKind::DlrmRmc2 | ModelKind::DlrmRmc3
+                )
+            })
+            .all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn snapshots_are_20_percent_apart() {
+        let s = EvolutionSchedule::paper();
+        let (d1, d2) = s.snapshot_days();
+        assert!((s.new_fraction(d2) - s.new_fraction(d1) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Query arrival generation: Poisson arrivals with heavy-tailed sizes
+//! (the paper's trace-driven load generator, Fig. 13).
+
+use hercules_common::dist::{Distribution, Exponential};
+use hercules_common::rng::SimRng;
+use hercules_common::units::{Qps, SimDuration, SimTime};
+
+use crate::query::{Query, QueryId, QuerySizeDist};
+
+/// A Poisson arrival process over simulated time.
+///
+/// ```
+/// use hercules_workload::generator::PoissonArrivals;
+/// use hercules_common::units::Qps;
+///
+/// let mut arrivals = PoissonArrivals::new(Qps(1000.0), 42);
+/// let t1 = arrivals.next_arrival();
+/// let t2 = arrivals.next_arrival();
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    gap: Exponential,
+    now: SimTime,
+    rng: SimRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given mean arrival rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn new(rate: Qps, seed: u64) -> Self {
+        assert!(rate.value() > 0.0, "arrival rate must be positive");
+        PoissonArrivals {
+            gap: Exponential::with_rate(rate.value()),
+            now: SimTime::ZERO,
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Advances to and returns the next arrival instant.
+    pub fn next_arrival(&mut self) -> SimTime {
+        let gap_s = self.gap.sample(&mut self.rng);
+        self.now = self.now + SimDuration::from_secs_f64(gap_s);
+        self.now
+    }
+}
+
+/// A stream of [`Query`]s: Poisson arrivals x size distribution.
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    arrivals: PoissonArrivals,
+    sizes: QuerySizeDist,
+    size_rng: SimRng,
+    next_id: u64,
+}
+
+impl QueryStream {
+    /// Creates a stream at `rate` queries/second with the given size
+    /// distribution.
+    pub fn new(rate: Qps, sizes: QuerySizeDist, seed: u64) -> Self {
+        let mut root = SimRng::seed_from(seed);
+        let arrival_rng = root.fork();
+        let size_rng = root.fork();
+        QueryStream {
+            arrivals: PoissonArrivals::new(rate, arrival_rng.seed()),
+            sizes,
+            size_rng,
+            next_id: 0,
+        }
+    }
+
+    /// The paper-shaped stream: Poisson arrivals, log-normal sizes.
+    pub fn paper(rate: Qps, seed: u64) -> Self {
+        QueryStream::new(rate, QuerySizeDist::paper(), seed)
+    }
+
+    /// Generates the next query.
+    pub fn next_query(&mut self) -> Query {
+        let arrival = self.arrivals.next_arrival();
+        let size = self.sizes.sample(&mut self.size_rng);
+        let q = Query {
+            id: QueryId(self.next_id),
+            arrival,
+            size,
+        };
+        self.next_id += 1;
+        q
+    }
+
+    /// Generates every query arriving before `horizon`.
+    pub fn take_until(&mut self, horizon: SimTime) -> Vec<Query> {
+        let mut out = Vec::new();
+        loop {
+            let q = self.next_query();
+            if q.arrival >= horizon {
+                break;
+            }
+            out.push(q);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_converges() {
+        let mut s = QueryStream::paper(Qps(5_000.0), 7);
+        let qs = s.take_until(SimTime::from_secs(10));
+        let rate = qs.len() as f64 / 10.0;
+        assert!((rate - 5_000.0).abs() / 5_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_strictly_ordered_and_ids_monotone() {
+        let mut s = QueryStream::paper(Qps(1_000.0), 11);
+        let qs = s.take_until(SimTime::from_secs(2));
+        for pair in qs.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival);
+            assert!(pair[0].id < pair[1].id);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = QueryStream::paper(Qps(500.0), 99);
+        let mut b = QueryStream::paper(Qps(500.0), 99);
+        for _ in 0..100 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = QueryStream::paper(Qps(500.0), 1);
+        let mut b = QueryStream::paper(Qps(500.0), 2);
+        let same = (0..50).filter(|_| a.next_query() == b.next_query()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn gaps_look_exponential() {
+        let mut arr = PoissonArrivals::new(Qps(10_000.0), 5);
+        let mut gaps = Vec::new();
+        let mut last = SimTime::ZERO;
+        for _ in 0..20_000 {
+            let t = arr.next_arrival();
+            gaps.push((t - last).as_secs_f64());
+            last = t;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 1e-4).abs() / 1e-4 < 0.05);
+        // CV of an exponential is 1.
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+}

@@ -1,0 +1,46 @@
+//! NMP explorer: exercise the cycle-level near-memory-processing simulator
+//! directly — rank-level parallelism scaling, latency/energy trade-offs,
+//! and the LUT methodology the server simulator consumes.
+//!
+//! Run with: `cargo run --release --example nmp_explorer`
+
+use hercules::hw::nmp::{NmpConfig, NmpLut, NmpSimulator};
+
+fn main() {
+    println!("Gather-reduce of 65,536 embedding rows (128 B each):");
+    println!();
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "ranks", "latency(us)", "bandwidth(GB/s)", "energy(mJ)"
+    );
+    let accesses = 65_536u64;
+    let row_bytes = 128u32;
+    let mut base_latency = None;
+    for ranks in [2u32, 4, 8, 16, 32] {
+        let sim = NmpSimulator::new(NmpConfig::with_ranks(ranks));
+        let est = sim.gather_reduce(accesses, row_bytes);
+        let us = est.latency.as_micros_f64();
+        let bw = accesses as f64 * row_bytes as f64 / est.latency.as_secs_f64() / 1e9;
+        base_latency.get_or_insert(us);
+        println!(
+            "{ranks:>6} {us:>12.1} {bw:>14.1} {:>12.3}   ({:.2}x vs 2 ranks)",
+            est.energy.value() * 1e3,
+            base_latency.unwrap() / us
+        );
+    }
+
+    println!();
+    println!("LUT (ranks=8): interpolated latency across access counts:");
+    let lut = NmpLut::build(&NmpConfig::with_ranks(8), row_bytes);
+    for accesses in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+        let est = lut.lookup(accesses);
+        println!(
+            "  {accesses:>9} accesses -> {:>10.1} us, {:>8.4} mJ",
+            est.latency.as_micros_f64(),
+            est.energy.value() * 1e3
+        );
+    }
+    println!();
+    println!("The server simulator taxes SLS latency from this LUT exactly as the paper's");
+    println!("dummy SLS-NMP operator does (Fig. 13), avoiding cycle simulation at runtime.");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: profile one model on one server and find its optimal
+//! task-scheduling configuration with the Hercules gradient search.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hercules::core::eval::{CachedEvaluator, EvalContext};
+use hercules::core::search::baselines::baseline_search;
+use hercules::core::search::gradient::GradientOptions;
+use hercules::core::search::hercules_task_search;
+use hercules::hw::server::ServerType;
+use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules::sim::SlaSpec;
+
+fn main() {
+    // 1. Pick a workload and a server from the paper's Table I / Table II.
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec(); // Xeon Gold 6138, DDR4
+    let sla = SlaSpec::p95(model.default_sla()); // 20 ms for RMC1
+
+    println!(
+        "workload : {} ({} embedding tables, {} of parameters)",
+        model.name(),
+        model.tables.len(),
+        model.total_table_size()
+    );
+    println!("server   : {}", server.stype.label());
+    println!("SLA      : p95 <= {}", sla.target);
+    println!();
+
+    // 2. Run the prior-art baseline (DeepRecSys) and Hercules' search.
+    let ctx = EvalContext::new(model, server, sla);
+    let mut ev = CachedEvaluator::new(ctx.quick(42));
+    let opts = GradientOptions::coarse();
+
+    let baseline = baseline_search(&mut ev, &opts.batch_levels)
+        .best
+        .expect("baseline finds a feasible configuration");
+    println!(
+        "baseline (DeepRecSys) : {:<22} {:>8.0} QPS  {:>6.0} W  {:>6.2} QPS/W",
+        baseline.plan.label(),
+        baseline.qps.value(),
+        baseline.power.value(),
+        baseline.qps_per_watt()
+    );
+
+    let hercules = hercules_task_search(&mut ev, &opts)
+        .best
+        .expect("hercules finds a feasible configuration");
+    println!(
+        "hercules              : {:<22} {:>8.0} QPS  {:>6.0} W  {:>6.2} QPS/W",
+        hercules.plan.label(),
+        hercules.qps.value(),
+        hercules.power.value(),
+        hercules.qps_per_watt()
+    );
+    println!();
+    println!(
+        "latency-bounded throughput improvement: {:.2}x  ({} simulator evaluations)",
+        hercules.qps.value() / baseline.qps.value(),
+        ev.evaluations()
+    );
+}

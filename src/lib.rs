@@ -1,0 +1,12 @@
+//! # Hercules
+//!
+//! Facade crate for the Hercules reproduction. Re-exports the public API of all
+//! subsystem crates. See the README for a tour and `DESIGN.md` for the mapping
+//! from the paper to modules.
+pub use hercules_common as common;
+pub use hercules_core as core;
+pub use hercules_hw as hw;
+pub use hercules_model as model;
+pub use hercules_sim as sim;
+pub use hercules_solver as solver;
+pub use hercules_workload as workload;

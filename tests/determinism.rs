@@ -1,0 +1,99 @@
+//! Reproducibility: identical seeds must give bit-identical results across
+//! the whole stack — workload generation, simulation, search, and
+//! provisioning.
+
+use hercules::common::units::Qps;
+use hercules::core::cluster::policies::{GreedyScheduler, NhScheduler};
+use hercules::core::cluster::{ProvisionRequest, Provisioner};
+use hercules::core::eval::{CachedEvaluator, EvalContext};
+use hercules::core::profiler::{EfficiencyEntry, EfficiencyTable, RankMetric};
+use hercules::core::search::gradient::{search_cpu_model_based, GradientOptions};
+use hercules::hw::server::{Fleet, ServerType};
+use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules::sim::{simulate, PlacementPlan, SimConfig, SlaSpec};
+use hercules::workload::generator::QueryStream;
+
+#[test]
+fn simulation_is_deterministic() {
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuSdPipeline {
+        sparse_threads: 6,
+        sparse_workers: 2,
+        dense_threads: 8,
+        batch: 256,
+    };
+    let cfg = SimConfig::quick(12345);
+    let a = simulate(&model, &server, &plan, Qps(400.0), &cfg).unwrap();
+    let b = simulate(&model, &server, &plan, Qps(400.0), &cfg).unwrap();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.p95, b.p95);
+    assert_eq!(a.p99, b.p99);
+    assert_eq!(a.mean_power, b.mean_power);
+    assert_eq!(a.cpu_activity, b.cpu_activity);
+}
+
+#[test]
+fn search_is_deterministic() {
+    let run = || {
+        let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let sla = SlaSpec::p95(model.default_sla());
+        let mut ev = CachedEvaluator::new(
+            EvalContext::new(model, ServerType::T2.spec(), sla).quick(777),
+        );
+        let out = search_cpu_model_based(&mut ev, &GradientOptions::coarse());
+        let best = out.best.expect("feasible");
+        (best.plan, best.qps.value().to_bits(), out.visited.len())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn workload_generation_is_deterministic_and_seeds_differ() {
+    let collect = |seed: u64| {
+        let mut s = QueryStream::paper(Qps(2_000.0), seed);
+        (0..200).map(|_| s.next_query()).collect::<Vec<_>>()
+    };
+    assert_eq!(collect(5), collect(5));
+    assert_ne!(collect(5), collect(6));
+}
+
+#[test]
+fn provisioning_policies_are_deterministic_given_seed() {
+    let entry = |qps: f64, power: f64| EfficiencyEntry {
+        qps: Qps(qps),
+        power: hercules::common::units::Watts(power),
+        plan: PlacementPlan::CpuModel {
+            threads: 1,
+            workers: 1,
+            batch: 64,
+        },
+    };
+    let table = EfficiencyTable::from_entries([
+        ((ModelKind::DlrmRmc1, ServerType::T2), entry(1000.0, 250.0)),
+        ((ModelKind::DlrmRmc1, ServerType::T3), entry(2000.0, 280.0)),
+        ((ModelKind::DlrmRmc2, ServerType::T2), entry(700.0, 250.0)),
+        ((ModelKind::DlrmRmc2, ServerType::T3), entry(1500.0, 280.0)),
+    ]);
+    let mut fleet = Fleet::empty();
+    fleet.set(ServerType::T2, 50).set(ServerType::T3, 10);
+    let workloads = [ModelKind::DlrmRmc1, ModelKind::DlrmRmc2];
+    let loads = [15_000.0, 9_000.0];
+    let req = ProvisionRequest {
+        fleet: &fleet,
+        table: &table,
+        workloads: &workloads,
+        loads: &loads,
+        over_provision: 0.05,
+    };
+    let a = NhScheduler::new(42).provision(&req).unwrap();
+    let b = NhScheduler::new(42).provision(&req).unwrap();
+    assert_eq!(a, b);
+    let c = GreedyScheduler::new(42, RankMetric::QpsPerWatt)
+        .provision(&req)
+        .unwrap();
+    let d = GreedyScheduler::new(42, RankMetric::QpsPerWatt)
+        .provision(&req)
+        .unwrap();
+    assert_eq!(c, d);
+}

@@ -1,0 +1,77 @@
+//! End-to-end integration: offline profiling feeds workload classification
+//! feeds online cluster provisioning — the full two-stage Hercules flow on
+//! a miniature fleet.
+
+use hercules::common::units::Qps;
+use hercules::core::cluster::online::{estimate_over_provision, run_online, WorkloadTrace};
+use hercules::core::cluster::policies::{GreedyScheduler, HerculesScheduler, SolverChoice};
+use hercules::core::profiler::{profile, ProfilerConfig, RankMetric, Searcher};
+use hercules::core::search::gradient::GradientOptions;
+use hercules::hw::server::{Fleet, ServerType};
+use hercules::model::zoo::{ModelKind, ModelScale};
+use hercules::workload::diurnal::DiurnalPattern;
+
+#[test]
+fn two_stage_flow_profiles_then_provisions() {
+    // Stage 1: offline profiling on a 2-type fleet (kept small: this runs
+    // the real simulator-backed search).
+    let models = [ModelKind::DlrmRmc1];
+    let servers = [ServerType::T1, ServerType::T2];
+    let cfg = ProfilerConfig {
+        scale: ModelScale::Production,
+        searcher: Searcher::Baseline,
+        gradient: GradientOptions {
+            batch_levels: vec![128, 512],
+            fusion_levels: vec![1024],
+            host_thread_levels: vec![4],
+            max_gpu_colocated: 2,
+        },
+        parallelism: 2,
+        ..ProfilerConfig::quick()
+    };
+    let table = profile(&models, &servers, &cfg);
+    let e1 = table
+        .get(ModelKind::DlrmRmc1, ServerType::T1)
+        .expect("RMC1 runs on T1");
+    let e2 = table
+        .get(ModelKind::DlrmRmc1, ServerType::T2)
+        .expect("RMC1 runs on T2");
+    // T2 has more, faster cores: it must beat T1 on raw throughput.
+    assert!(e2.qps > e1.qps, "T2 {} vs T1 {}", e2.qps, e1.qps);
+    // Classification ranks by the chosen metric.
+    let ranked = table.ranked_servers(ModelKind::DlrmRmc1, RankMetric::Qps);
+    assert_eq!(ranked[0].0, ServerType::T2);
+
+    // Stage 2: online serving against a diurnal day.
+    let mut fleet = Fleet::empty();
+    fleet.set(ServerType::T1, 50).set(ServerType::T2, 50);
+    let peak = 0.5 * (50.0 * e1.qps.value() + 50.0 * e2.qps.value());
+    let trace = vec![WorkloadTrace {
+        model: ModelKind::DlrmRmc1,
+        load: DiurnalPattern::service_a(Qps(peak)).sample(1, 60, 0.02, 3),
+    }];
+    let r_est = estimate_over_provision(&trace);
+    assert!(r_est > 0.0, "diurnal load rises somewhere");
+
+    let mut policy = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let run = run_online(&fleet, &table, &trace, &mut policy, None);
+    assert_eq!(run.infeasible_intervals(), 0, "load was sized feasibly");
+    assert!(run.peak_power() > run.avg_power());
+    // The allocation tracks the diurnal shape: valley uses fewer servers.
+    let acts = run.activated_series();
+    let min = acts
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        run.peak_activated() >= 1.5 * min.max(1.0),
+        "peak {} vs valley {min}",
+        run.peak_activated()
+    );
+
+    // Hercules never provisions more power than greedy on the same run.
+    let mut greedy = GreedyScheduler::new(5, RankMetric::QpsPerWatt);
+    let greedy_run = run_online(&fleet, &table, &trace, &mut greedy, None);
+    assert!(run.avg_power() <= greedy_run.avg_power() + 1e-6);
+}

@@ -1,0 +1,110 @@
+//! Property-based tests on the modeling substrate: cost accounting,
+//! partitioning invariants, scheduling invariants, and distribution
+//! behaviour under arbitrary (bounded) parameters.
+
+use proptest::prelude::*;
+
+use hercules::common::dist::{Distribution, LogNormal, Zipf};
+use hercules::common::rng::SimRng;
+use hercules::common::units::{MemBytes, SimDuration};
+use hercules::hw::cost::{cpu_batch_cost, CpuExecConfig};
+use hercules::hw::schedule::list_schedule;
+use hercules::hw::server::ServerType;
+use hercules::model::partition::{hot_partition, sparse_dense};
+use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
+
+fn any_model_kind() -> impl Strategy<Value = ModelKind> {
+    prop::sample::select(ModelKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Graph cost grows monotonically with batch size for every model.
+    #[test]
+    fn cost_monotone_in_batch(kind in any_model_kind(), b1 in 1u64..512, b2 in 1u64..512) {
+        let m = RecModel::build(kind, ModelScale::Small);
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        prop_assume!(lo < hi);
+        let c_lo = m.graph.total_cost(lo, &m.tables);
+        let c_hi = m.graph.total_cost(hi, &m.tables);
+        prop_assert!(c_hi.flops >= c_lo.flops);
+        prop_assert!(c_hi.total_bytes() >= c_lo.total_bytes());
+    }
+
+    /// The sparse-dense partition is a clean bipartition: node counts add
+    /// up and the sparse side has no dependencies, for every model.
+    #[test]
+    fn sd_partition_is_bipartition(kind in any_model_kind()) {
+        let m = RecModel::build(kind, ModelScale::Production);
+        let p = sparse_dense(&m);
+        prop_assert_eq!(p.sparse.len() + p.dense.len(), m.graph.len());
+        prop_assert_eq!(p.sparse.edge_count(), 0);
+        prop_assert!(p.dense.validate().is_ok());
+    }
+
+    /// Hot-partition hit rates are monotone in the budget and the used
+    /// bytes never exceed it.
+    #[test]
+    fn hot_partition_monotone(kind in any_model_kind(), gib1 in 1u64..8, gib2 in 1u64..8) {
+        let m = RecModel::build(kind, ModelScale::Production);
+        let (lo, hi) = (gib1.min(gib2), gib1.max(gib2));
+        let p_lo = hot_partition(&m, MemBytes::from_gib(lo));
+        let p_hi = hot_partition(&m, MemBytes::from_gib(hi));
+        prop_assert!(p_lo.used <= MemBytes::from_gib(lo));
+        prop_assert!(p_hi.used <= MemBytes::from_gib(hi));
+        prop_assert!(p_hi.overall_hit_rate >= p_lo.overall_hit_rate - 1e-12);
+    }
+
+    /// List scheduling: makespan never increases when workers are added,
+    /// and never beats the critical-path/width lower bounds.
+    #[test]
+    fn list_schedule_bounds(kind in any_model_kind(), w1 in 1u32..6, w2 in 1u32..6) {
+        let m = RecModel::build(kind, ModelScale::Small);
+        let dur = |_id: hercules::model::graph::NodeId| SimDuration::from_micros(50);
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        let s_lo = list_schedule(&m.graph, lo, dur);
+        let s_hi = list_schedule(&m.graph, hi, dur);
+        prop_assert!(s_hi.makespan <= s_lo.makespan,
+            "more workers can't hurt: {} vs {}", s_hi.makespan, s_lo.makespan);
+        // Work-conservation lower bound.
+        let total = SimDuration::from_micros(50) * m.graph.len() as u64;
+        prop_assert!(s_lo.makespan * lo as u64 >= total);
+        // Idle fraction is a valid fraction.
+        prop_assert!((0.0..=1.0).contains(&s_hi.idle_fraction()));
+    }
+
+    /// CPU batch cost: co-locating more threads never makes a single
+    /// thread faster.
+    #[test]
+    fn colocation_never_speeds_up(kind in any_model_kind(), t1 in 1u32..20, t2 in 1u32..20) {
+        let m = RecModel::build(kind, ModelScale::Small);
+        let server = ServerType::T2.spec();
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let cost = |threads: u32| {
+            let cfg = CpuExecConfig {
+                server: &server,
+                workers: 1,
+                colocated_threads: threads,
+                nmp: None,
+            };
+            cpu_batch_cost(&m.graph, 128, &m.tables, &cfg).latency
+        };
+        prop_assert!(cost(hi) >= cost(lo));
+    }
+
+    /// Log-normal samples respect positivity; Zipf samples respect support.
+    #[test]
+    fn distribution_supports(seed in 0u64..10_000, n in 100u64..1_000_000, s in 0.2f64..1.5) {
+        let mut rng = SimRng::seed_from(seed);
+        let ln = LogNormal::from_mean_p95(120.0, 400.0);
+        for _ in 0..50 {
+            prop_assert!(ln.sample(&mut rng) > 0.0);
+        }
+        let z = Zipf::new(n, s);
+        for _ in 0..50 {
+            let v = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&v));
+        }
+    }
+}
