@@ -65,7 +65,12 @@ fn main() {
             out.visited
                 .iter()
                 .filter_map(|p| ev.evaluate(p))
-                .filter(|e| matches!(e.plan, hercules_sim::PlacementPlan::CpuModel { workers: 1, .. }))
+                .filter(|e| {
+                    matches!(
+                        e.plan,
+                        hercules_sim::PlacementPlan::CpuModel { workers: 1, .. }
+                    )
+                })
                 .max_by(|a, b| a.qps.partial_cmp(&b.qps).expect("finite"))
         };
         // Psp(M+D+O): full model-based gradient.
@@ -94,8 +99,8 @@ fn main() {
 
     banner("Ablation C: over-provision rate R sensitivity (cluster power)");
     {
-        use hercules_core::profiler::EfficiencyEntry;
         use hercules_common::units::Watts;
+        use hercules_core::profiler::EfficiencyEntry;
         // Synthetic tuples keep this ablation fast and deterministic.
         let entry = |qps: f64, power: f64| EfficiencyEntry {
             qps: Qps(qps),
@@ -146,6 +151,8 @@ fn main() {
                 f(run.avg_power() / 1000.0, 2),
             ]);
         }
-        println!("(higher R buys headroom against intra-interval load growth at linear power cost)");
+        println!(
+            "(higher R buys headroom against intra-interval load growth at linear power cost)"
+        );
     }
 }

@@ -15,9 +15,8 @@ fn main() {
     banner("Fig. 11(a-c): CPU design space, RMC1 on T2 (p95 SLA 50ms)");
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
     let sla = SlaSpec::p95(model.default_sla());
-    let mut ev = CachedEvaluator::new(
-        EvalContext::new(model.clone(), ServerType::T2.spec(), sla).quick(31),
-    );
+    let mut ev =
+        CachedEvaluator::new(EvalContext::new(model.clone(), ServerType::T2.spec(), sla).quick(31));
 
     let w = TableWriter::new(&[
         ("Config", 10),
@@ -59,9 +58,8 @@ fn main() {
 
     banner("Fig. 11(d-f): GPU design space, RMC1-small on T7");
     let small = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Small);
-    let mut gev = CachedEvaluator::new(
-        EvalContext::new(small, ServerType::T7.spec(), sla).quick(32),
-    );
+    let mut gev =
+        CachedEvaluator::new(EvalContext::new(small, ServerType::T7.spec(), sla).quick(32));
     let w = TableWriter::new(&[
         ("Coloc", 6),
         ("Fusion", 8),
@@ -97,11 +95,14 @@ fn main() {
     }
 
     banner("Gradient-based search path (Algorithm 1) on the CPU space");
-    let mut pev = CachedEvaluator::new(
-        EvalContext::new(model, ServerType::T2.spec(), sla).quick(33),
-    );
+    let mut pev =
+        CachedEvaluator::new(EvalContext::new(model, ServerType::T2.spec(), sla).quick(33));
     let out = search_cpu_model_based(&mut pev, &bench_gradient());
-    println!("visited {} configurations ({} simulator evaluations):", out.visited.len(), out.evaluations);
+    println!(
+        "visited {} configurations ({} simulator evaluations):",
+        out.visited.len(),
+        out.evaluations
+    );
     for p in out.visited.iter().take(24) {
         println!("  {p}");
     }

@@ -14,15 +14,9 @@ fn main() {
     banner("Fig. 12(a): CPU S-D pipeline balance, RMC1 on T2 (batch 256)");
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
     let sla = SlaSpec::p95(model.default_sla());
-    let mut ev = CachedEvaluator::new(
-        EvalContext::new(model.clone(), ServerType::T2.spec(), sla).quick(51),
-    );
-    let w = TableWriter::new(&[
-        ("Sparse x w", 11),
-        ("Dense", 6),
-        ("QPS", 8),
-        ("p95(ms)", 8),
-    ]);
+    let mut ev =
+        CachedEvaluator::new(EvalContext::new(model.clone(), ServerType::T2.spec(), sla).quick(51));
+    let w = TableWriter::new(&[("Sparse x w", 11), ("Dense", 6), ("QPS", 8), ("p95(ms)", 8)]);
     for workers in [1u32, 2] {
         for sparse in [2u32, 4, 6, 8] {
             let dense = 20 - sparse * workers;
@@ -58,9 +52,8 @@ fn main() {
     }
 
     banner("Fig. 12(b): CPU-GPU S-D pipeline, RMC1 on T7");
-    let mut hev = CachedEvaluator::new(
-        EvalContext::new(model, ServerType::T7.spec(), sla).quick(52),
-    );
+    let mut hev =
+        CachedEvaluator::new(EvalContext::new(model, ServerType::T7.spec(), sla).quick(52));
     let w = TableWriter::new(&[
         ("Host sparse", 12),
         ("GPU g/F", 10),

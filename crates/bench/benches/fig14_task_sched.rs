@@ -18,7 +18,12 @@ use hercules_sim::SlaSpec;
 
 fn main() {
     banner("Fig. 14: baseline (DeepRecSys+Baymax) vs Hercules task scheduler");
-    let servers = [ServerType::T2, ServerType::T3, ServerType::T7, ServerType::T8];
+    let servers = [
+        ServerType::T2,
+        ServerType::T3,
+        ServerType::T7,
+        ServerType::T8,
+    ];
     let opts = bench_gradient();
     let w = TableWriter::new(&[
         ("Model", 10),
@@ -36,9 +41,8 @@ fn main() {
                 let sla_ms = base_sla.as_millis_f64() * mult;
                 let sla = SlaSpec::p95(SimDuration::from_millis_f64(sla_ms));
                 let model = RecModel::build(kind, ModelScale::Production);
-                let mut ev = CachedEvaluator::new(
-                    EvalContext::new(model, server.spec(), sla).quick(71),
-                );
+                let mut ev =
+                    CachedEvaluator::new(EvalContext::new(model, server.spec(), sla).quick(71));
                 let baseline = baseline_search(&mut ev, &opts.batch_levels).best;
                 let hercules = hercules_task_search(&mut ev, &opts).best;
                 match (baseline, hercules) {

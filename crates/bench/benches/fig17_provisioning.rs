@@ -20,11 +20,7 @@ use hercules_workload::evolution::EvolutionSchedule;
 
 /// Largest aggregate peak the fleet can serve at the Day-D2 mix, found by
 /// binary search over the provisioning LP itself, backed off to 75%.
-fn scaled_peak(
-    table: &EfficiencyTable,
-    fleet: &Fleet,
-    shares: &[(ModelKind, f64)],
-) -> f64 {
+fn scaled_peak(table: &EfficiencyTable, fleet: &Fleet, shares: &[(ModelKind, f64)]) -> f64 {
     use hercules_core::cluster::ProvisionRequest;
     let workloads: Vec<ModelKind> = shares.iter().map(|&(m, _)| m).collect();
     let feasible = |aggregate: f64| -> bool {

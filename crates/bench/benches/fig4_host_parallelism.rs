@@ -11,7 +11,11 @@ use hercules_hw::server::ServerType;
 use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules_sim::{PlacementPlan, SlaSpec};
 
-fn best_batch(ev: &mut CachedEvaluator, threads: u32, workers: u32) -> Option<hercules_core::eval::Evaluation> {
+fn best_batch(
+    ev: &mut CachedEvaluator,
+    threads: u32,
+    workers: u32,
+) -> Option<hercules_core::eval::Evaluation> {
     let mut best: Option<hercules_core::eval::Evaluation> = None;
     for batch in [64u32, 128, 256, 512, 1024] {
         let plan = PlacementPlan::CpuModel {

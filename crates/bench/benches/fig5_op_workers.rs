@@ -30,11 +30,7 @@ fn main() {
                 nmp: None,
             };
             let cost = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg);
-            let total_busy: f64 = cost
-                .per_op
-                .iter()
-                .map(|o| o.duration.as_secs_f64())
-                .sum();
+            let total_busy: f64 = cost.per_op.iter().map(|o| o.duration.as_secs_f64()).sum();
             let sparse_busy: f64 = cost
                 .per_op
                 .iter()

@@ -26,9 +26,8 @@ fn main() {
     for kind in [ModelKind::DlrmRmc3, ModelKind::MtWnd, ModelKind::Din] {
         let model = RecModel::build(kind, ModelScale::Small);
         let sla = SlaSpec::p95(model.default_sla());
-        let mut ev = CachedEvaluator::new(
-            EvalContext::new(model, ServerType::T7.spec(), sla).quick(61),
-        );
+        let mut ev =
+            CachedEvaluator::new(EvalContext::new(model, ServerType::T7.spec(), sla).quick(61));
         // (1) DeepRecSys: one instance, no fusion.
         let drs = ev.evaluate(&PlacementPlan::GpuModel {
             colocated: 1,
@@ -41,7 +40,16 @@ fn main() {
         // (3) Hercules's combined exploration.
         let fused = search_gpu_model_based(&mut ev, &bench_gradient()).best;
         let (Some(d), Some(b), Some(fu)) = (drs, baymax, fused) else {
-            w.row(&[kind.name().into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            w.row(&[
+                kind.name().into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         w.row(&[

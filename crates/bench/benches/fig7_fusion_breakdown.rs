@@ -11,11 +11,12 @@ use hercules_bench::{banner, f, TableWriter};
 use hercules_common::units::Qps;
 use hercules_hw::server::ServerType;
 use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
-use hercules_sim::{simulate, PlacementPlan, SimConfig};
+use hercules_sim::{simulate_cached, NmpLutCache, PlacementPlan, SimConfig};
 
 fn main() {
     banner("Fig. 7: queuing/loading/inference breakdown vs fusion limit (T7, 1 thread)");
     let server = ServerType::T7.spec();
+    let luts = NmpLutCache::new();
     let w = TableWriter::new(&[
         ("Model", 10),
         ("Fusion", 8),
@@ -34,7 +35,14 @@ fn main() {
             ModelKind::MtWnd => Qps(1_500.0),
             _ => Qps(1_200.0),
         };
-        for fusion in [None, Some(500u32), Some(1000), Some(2000), Some(4000), Some(6000)] {
+        for fusion in [
+            None,
+            Some(500u32),
+            Some(1000),
+            Some(2000),
+            Some(4000),
+            Some(6000),
+        ] {
             let plan = PlacementPlan::GpuModel {
                 colocated: 1,
                 fusion_limit: fusion,
@@ -45,7 +53,7 @@ fn main() {
                 seed: 77,
                 ..SimConfig::default()
             };
-            let r = simulate(&model, &server, &plan, rate, &cfg).expect("plan valid");
+            let r = simulate_cached(&model, &server, &plan, rate, &cfg, &luts).expect("plan valid");
             let (q, l, i) = r.breakdown.fractions();
             w.row(&[
                 kind.name().to_string(),

@@ -20,7 +20,12 @@ fn main() {
     banner("Fig. 8(a): QPS/W of RMC1 and RMC2 on CPU / CPU+NMP / CPU+GPU");
     let models = [ModelKind::DlrmRmc1, ModelKind::DlrmRmc2];
     let servers = [ServerType::T2, ServerType::T3, ServerType::T7];
-    let table = bench_profile(&models, &servers, ModelScale::Production, Searcher::Hercules);
+    let table = bench_profile(
+        &models,
+        &servers,
+        ModelScale::Production,
+        Searcher::Hercules,
+    );
 
     let w = TableWriter::new(&[
         ("Model", 10),
@@ -86,7 +91,10 @@ fn main() {
             .map(|&(t, v)| (t, v * scale))
             .collect()
     };
-    let (s1, s2) = (scale_for(ModelKind::DlrmRmc1), scale_for(ModelKind::DlrmRmc2));
+    let (s1, s2) = (
+        scale_for(ModelKind::DlrmRmc1),
+        scale_for(ModelKind::DlrmRmc2),
+    );
     let traces = vec![
         WorkloadTrace {
             model: ModelKind::DlrmRmc1,

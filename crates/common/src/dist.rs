@@ -156,7 +156,10 @@ impl LogNormal {
     /// Panics if `mean` or `p95` are non-positive, or if the ratio
     /// `p95/mean` lies outside the satisfiable range above.
     pub fn from_mean_p95(mean: f64, p95: f64) -> Self {
-        assert!(mean > 0.0 && p95 > 0.0, "log-normal targets must be positive");
+        assert!(
+            mean > 0.0 && p95 > 0.0,
+            "log-normal targets must be positive"
+        );
         const Z95: f64 = 1.6448536269514722;
         // ln(p95) - ln(mean) = z*sigma - sigma^2/2  =>  sigma^2/2 - z*sigma + d = 0
         let d = p95.ln() - mean.ln();
@@ -240,6 +243,10 @@ pub struct Zipf {
     // Precomputed constants for rejection-inversion.
     h_x1: f64,
     h_n: f64,
+    // Early-accept threshold: accept k when k - x <= threshold, the region
+    // where the hat provably lies under the pmf (Hörmann & Derflinger's
+    // `s` constant).
+    threshold: f64,
     dividing_s: f64,
 }
 
@@ -262,13 +269,22 @@ impl Zipf {
                 (x.powf(1.0 - s) - 1.0) / (1.0 - s)
             }
         };
+        let h_inv = |x: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                x.exp()
+            } else {
+                (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+            }
+        };
         let h_x1 = h(1.5) - 1.0;
         let h_n = h(n as f64 + 0.5);
+        let threshold = 1.0 - h_inv(h(1.5) - 1.0);
         Zipf {
             n,
             s,
             h_x1,
             h_n,
+            threshold,
             dividing_s: s,
         }
     }
@@ -322,13 +338,16 @@ impl Distribution for Zipf {
             let x = self.h_inv(u);
             let k = (x + 0.5).floor().max(1.0).min(self.n as f64) as u64;
             let k_f = k as f64;
-            if (k_f - x).abs() <= 0.5 {
+            // Early accept only inside the region where the hat provably
+            // sits under the pmf; |k - x| <= 0.5 would accept every
+            // unclamped draw and degenerate to biased hat-inversion.
+            if k_f - x <= self.threshold {
                 return k;
             }
-            // Accept with probability proportional to the true pmf.
-            let ratio = (self.h(k_f + 0.5) - self.h(k_f - 0.5)) / k_f.powf(-self.s)
-                * k_f.powf(-self.s);
-            if u >= self.h(k_f + 0.5) - ratio {
+            // Hormann-Derflinger acceptance: the hat integral over
+            // [k-0.5, k+0.5] is h(k+0.5) - h(k-0.5); accept when u falls
+            // within the true pmf mass k^-s measured down from h(k+0.5).
+            if u >= self.h(k_f + 0.5) - k_f.powf(-self.s) {
                 return k;
             }
         }
@@ -389,10 +408,7 @@ impl<T: Clone> Discrete<T> {
         if weighted.is_empty() {
             return Err(BuildDiscreteError::Empty);
         }
-        if weighted
-            .iter()
-            .any(|(_, w)| !w.is_finite() || *w < 0.0)
-        {
+        if weighted.iter().any(|(_, w)| !w.is_finite() || *w < 0.0) {
             return Err(BuildDiscreteError::InvalidWeight);
         }
         let total: f64 = weighted.iter().map(|(_, w)| w).sum();
@@ -467,7 +483,7 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

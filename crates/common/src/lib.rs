@@ -21,9 +21,11 @@
 //! ```
 
 pub mod dist;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod units;
 
+pub use par::parallel_map;
 pub use rng::SimRng;
 pub use units::{Joules, MemBytes, Qps, SimDuration, SimTime, Watts};

@@ -1,0 +1,80 @@
+//! Scoped-thread parallel map with deterministic, index-addressed results.
+//!
+//! The one concurrency primitive the evaluation layers need: apply a pure
+//! function to every item of a slice on up to `workers` OS threads and get
+//! the results back **in input order**, independent of scheduling. Callers
+//! (the profiler's table sweep, the evaluator's candidate batches) rely on
+//! that ordering for bitwise-identical parallel-vs-serial behavior.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning
+/// results in input order.
+///
+/// `workers` is clamped to `[1, items.len()]`; at 1 (or for a single item)
+/// this is a plain serial map with no threads spawned. Workers pull the
+/// next index off a shared counter and write an index-addressed slot, so
+/// results never depend on which worker ran what, or when.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins its threads).
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("parallel_map slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("parallel_map slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |&x| x * x);
+        let parallel = parallel_map(&items, 8, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[7], 49);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn workers_exceeding_items_are_clamped() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x * 10), vec![10, 20, 30]);
+    }
+}

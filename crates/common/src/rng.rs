@@ -4,9 +4,19 @@
 //! explicitly by the caller; two runs with the same seed are bit-identical.
 //! [`SimRng::fork`] derives independent child streams (e.g. one per inference
 //! thread) without the children perturbing the parent's sequence.
+//!
+//! The generator is a self-contained xoshiro256++ (the algorithm behind
+//! `rand`'s 64-bit `SmallRng`) with SplitMix64 state expansion, so the crate
+//! carries no external dependency and the stream is stable across toolchains.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+/// SplitMix64 avalanche step, used for state expansion and fork derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded, splittable random number generator for simulations.
 ///
@@ -18,7 +28,7 @@ use rand::{RngExt, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
     forks: u64,
 }
@@ -26,8 +36,14 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             seed,
             forks: 0,
         }
@@ -57,7 +73,8 @@ impl SimRng {
 
     /// A uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits -> the unit interval, the standard double conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform draw in `[0, 1)` guaranteed to be strictly positive
@@ -88,7 +105,7 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.random_range(0..n)
+        self.bounded(n as u64) as usize
     }
 
     /// A uniform integer in `[lo, hi]` (inclusive).
@@ -98,12 +115,45 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn int_range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.inner.random_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.bounded(span + 1)
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform draw in `[0, n)` via Lemire's multiply-shift with
+    /// rejection.
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let m = self.next_u64() as u128 * n as u128;
+        let mut lo = m as u64;
+        if lo < n {
+            // Slow path (probability n / 2^64): compute the rejection
+            // threshold once and resample draws from the biased region.
+            let threshold = n.wrapping_neg() % n;
+            let mut m = m;
+            while lo < threshold {
+                m = self.next_u64() as u128 * n as u128;
+                lo = m as u64;
+            }
+            return (m >> 64) as u64;
+        }
+        (m >> 64) as u64
     }
 
     /// A Bernoulli draw that is `true` with probability `p` (clamped to [0,1]).
@@ -176,6 +226,14 @@ mod tests {
             let v = rng.int_range(3, 5);
             assert!((3..=5).contains(&v));
         }
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let mut rng = SimRng::seed_from(99);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 
     #[test]

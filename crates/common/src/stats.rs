@@ -477,10 +477,14 @@ mod tests {
 
     #[test]
     fn time_series_peak_mean_zip() {
-        let a: TimeSeries = vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)].into_iter().collect();
+        let a: TimeSeries = vec![(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]
+            .into_iter()
+            .collect();
         assert_eq!(a.peak(), Some(3.0));
         assert_eq!(a.mean(), Some(2.0));
-        let b: TimeSeries = vec![(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)].into_iter().collect();
+        let b: TimeSeries = vec![(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+            .into_iter()
+            .collect();
         let sum = a.zip_with(&b, |x, y| x + y);
         assert_eq!(sum.points()[1], (1.0, 4.0));
         assert_eq!(a.len(), 3);

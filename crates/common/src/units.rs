@@ -488,7 +488,10 @@ mod tests {
         assert_eq!(t.as_nanos(), 3_000_000);
         let t2 = t + SimDuration::from_micros(250);
         assert_eq!((t2 - t).as_micros_f64(), 250.0);
-        assert_eq!(t2.saturating_since(SimTime::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            t2.saturating_since(SimTime::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

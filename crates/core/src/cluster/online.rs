@@ -224,11 +224,7 @@ pub fn evolution_traces(
         .filter(|&(_, share)| share > 0.0)
         .map(|(model, share)| WorkloadTrace {
             model,
-            load: base
-                .points()
-                .iter()
-                .map(|&(t, v)| (t, v * share))
-                .collect(),
+            load: base.points().iter().map(|&(t, v)| (t, v * share)).collect(),
         })
         .collect()
 }
@@ -325,10 +321,9 @@ mod tests {
             ModelKind::DlrmRmc1 | ModelKind::DlrmRmc2 | ModelKind::DlrmRmc3
         )));
         let late = evolution_traces(&schedule, 10.0, &aggregate, 60, 5);
-        assert!(late.iter().all(|t| matches!(
-            t.model,
-            ModelKind::Din | ModelKind::Dien | ModelKind::MtWnd
-        )));
+        assert!(late
+            .iter()
+            .all(|t| matches!(t.model, ModelKind::Din | ModelKind::Dien | ModelKind::MtWnd)));
         // Mid-cycle: all six, shares summing to the aggregate.
         let mid = evolution_traces(&schedule, 5.0, &aggregate, 60, 5);
         assert_eq!(mid.len(), 6);
@@ -357,13 +352,18 @@ mod tests {
             f
         };
         let mut policy = HerculesScheduler::new(SolverChoice::BranchAndBound);
-        let report =
-            run_online_with_fleet(fleet_at, &table, &tr, &mut policy, Some(0.05));
-        assert_eq!(report.infeasible_intervals(), 0, "CPU fallback absorbs the loss");
+        let report = run_online_with_fleet(fleet_at, &table, &tr, &mut policy, Some(0.05));
+        assert_eq!(
+            report.infeasible_intervals(),
+            0,
+            "CPU fallback absorbs the loss"
+        );
         // During the outage no T3 servers are activated.
         for i in steps / 3..2 * steps / 3 {
             assert_eq!(
-                report.intervals[i].allocation.activated_of_type(ServerType::T3),
+                report.intervals[i]
+                    .allocation
+                    .activated_of_type(ServerType::T3),
                 0
             );
         }

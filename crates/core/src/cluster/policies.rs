@@ -313,10 +313,7 @@ impl HerculesScheduler {
         Ok((lp, vars))
     }
 
-    fn allocation_from(
-        x: &[f64],
-        vars: &[(ServerType, usize)],
-    ) -> Allocation {
+    fn allocation_from(x: &[f64], vars: &[(ServerType, usize)]) -> Allocation {
         let mut alloc = Allocation::new();
         for (j, &(s, w)) in vars.iter().enumerate() {
             let n = x[j].round().max(0.0) as u32;
@@ -394,9 +391,7 @@ impl HerculesScheduler {
                 }
                 match best {
                     Some((j, _)) => counts[j] += 1,
-                    None => {
-                        return Err(ProvisionError::InsufficientCapacity { workload: model })
-                    }
+                    None => return Err(ProvisionError::InsufficientCapacity { workload: model }),
                 }
             }
         }
@@ -405,8 +400,16 @@ impl HerculesScheduler {
         // (undo ceil overshoot), most power-hungry first.
         let mut order: Vec<usize> = (0..vars.len()).collect();
         order.sort_by(|&a, &b| {
-            let pa = req.table.get(req.workloads[vars[a].1], vars[a].0).expect("feasible").power;
-            let pb = req.table.get(req.workloads[vars[b].1], vars[b].0).expect("feasible").power;
+            let pa = req
+                .table
+                .get(req.workloads[vars[a].1], vars[a].0)
+                .expect("feasible")
+                .power;
+            let pb = req
+                .table
+                .get(req.workloads[vars[b].1], vars[b].0)
+                .expect("feasible")
+                .power;
             pb.partial_cmp(&pa).expect("finite power")
         });
         loop {
@@ -590,7 +593,9 @@ mod tests {
             Box::new(HerculesScheduler::new(SolverChoice::InteriorPointRounded)),
         ];
         for p in policies.iter_mut() {
-            let alloc = p.provision(&req).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            let alloc = p
+                .provision(&req)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
             assert!(alloc.satisfies(&req), "{} allocation invalid", p.name());
         }
     }

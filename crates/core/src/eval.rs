@@ -1,14 +1,21 @@
 //! Scheduling-candidate evaluation: one point of the parallelism space →
 //! `(QPS, tail latency, power)` via the simulator (paper Fig. 9a's
 //! "Inference Executor" + "Measured Tail-Latency, QPS, Power" loop).
+//!
+//! The context owns an explicit [`NmpLutCache`] (shared via `Arc`) that is
+//! threaded down through `sim::search` and `sim::service`, replacing the old
+//! process-global LUT cache: parallel searches and profilers decide their
+//! own sharing, and evaluation carries no hidden global state.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use hercules_common::parallel_map;
 use hercules_common::units::{Qps, Watts};
 use hercules_hw::server::ServerSpec;
 use hercules_model::zoo::RecModel;
 use hercules_sim::{
-    max_qps_under_sla, PlacementPlan, SearchOptions, SimConfig, SimReport, SlaSpec,
+    max_qps_under_sla, NmpLutCache, PlacementPlan, SearchOptions, SimConfig, SimReport, SlaSpec,
 };
 
 /// The outcome of evaluating one scheduling configuration at its
@@ -54,10 +61,15 @@ pub struct EvalContext {
     pub sim: SimConfig,
     /// Rate-search controls.
     pub search: SearchOptions,
+    /// NMP LUT reuse for every topology this context builds. Cloning the
+    /// context shares the cache; [`EvalContext::with_nmp_cache`] substitutes
+    /// a cache shared wider (e.g. across a whole profiling run).
+    pub nmp_luts: Arc<NmpLutCache>,
 }
 
 impl EvalContext {
-    /// A context with default fidelity and no power cap.
+    /// A context with default fidelity, no power cap, and a private LUT
+    /// cache.
     pub fn new(model: RecModel, server: ServerSpec, sla: SlaSpec) -> Self {
         EvalContext {
             model,
@@ -66,6 +78,7 @@ impl EvalContext {
             power_cap: None,
             sim: SimConfig::default(),
             search: SearchOptions::default(),
+            nmp_luts: Arc::new(NmpLutCache::new()),
         }
     }
 
@@ -76,6 +89,43 @@ impl EvalContext {
         self.search.target_queries = Some(2_500);
         self
     }
+
+    /// Same context drawing NMP LUTs from `luts` (builder style), so many
+    /// contexts — e.g. all cells of a profiling sweep — share one cache.
+    pub fn with_nmp_cache(mut self, luts: Arc<NmpLutCache>) -> Self {
+        self.nmp_luts = luts;
+        self
+    }
+}
+
+/// Evaluates one plan against a context, with no memoization.
+///
+/// This is the thread-safe kernel behind [`CachedEvaluator`]: it takes the
+/// context by shared reference, so batch evaluation can fan it out across
+/// scoped worker threads.
+pub fn evaluate_plan(ctx: &EvalContext, plan: &PlacementPlan) -> Option<Evaluation> {
+    let outcome = max_qps_under_sla(
+        &ctx.model,
+        &ctx.server,
+        plan,
+        &ctx.sla,
+        &ctx.sim,
+        &ctx.search,
+        &ctx.nmp_luts,
+    )
+    .ok()??;
+    let power = outcome.report.peak_power;
+    if let Some(cap) = ctx.power_cap {
+        if power > cap {
+            return None;
+        }
+    }
+    Some(Evaluation {
+        plan: *plan,
+        qps: outcome.qps,
+        power,
+        report: outcome.report,
+    })
 }
 
 /// A memoizing evaluator over [`PlacementPlan`]s.
@@ -117,33 +167,43 @@ impl CachedEvaluator {
             return hit.clone();
         }
         self.evaluations += 1;
-        let out = self.evaluate_uncached(plan);
+        let out = evaluate_plan(&self.ctx, plan);
         self.cache.insert(*plan, out.clone());
         out
     }
 
-    fn evaluate_uncached(&self, plan: &PlacementPlan) -> Option<Evaluation> {
-        let outcome = max_qps_under_sla(
-            &self.ctx.model,
-            &self.ctx.server,
-            plan,
-            &self.ctx.sla,
-            &self.ctx.sim,
-            &self.ctx.search,
-        )
-        .ok()??;
-        let power = outcome.report.peak_power;
-        if let Some(cap) = self.ctx.power_cap {
-            if power > cap {
-                return None;
+    /// Evaluates a batch of plans, running cache misses on up to
+    /// `parallelism` scoped worker threads.
+    ///
+    /// Results are returned in input order and inserted into the memo cache
+    /// exactly as the equivalent sequence of [`CachedEvaluator::evaluate`]
+    /// calls would produce them: every plan's evaluation depends only on the
+    /// context (never on other in-flight evaluations), so the parallel path
+    /// is bitwise-identical to the serial one.
+    pub fn evaluate_batch(
+        &mut self,
+        plans: &[PlacementPlan],
+        parallelism: usize,
+    ) -> Vec<Option<Evaluation>> {
+        // Distinct plans not yet memoized, in first-seen order.
+        let mut misses: Vec<PlacementPlan> = Vec::new();
+        for plan in plans {
+            if !self.cache.contains_key(plan) && !misses.contains(plan) {
+                misses.push(*plan);
             }
         }
-        Some(Evaluation {
-            plan: *plan,
-            qps: outcome.qps,
-            power,
-            report: outcome.report,
-        })
+        self.evaluations += misses.len();
+
+        let ctx = &self.ctx;
+        let results = parallel_map(&misses, parallelism, |plan| evaluate_plan(ctx, plan));
+        for (plan, out) in misses.iter().zip(results) {
+            self.cache.insert(*plan, out);
+        }
+
+        plans
+            .iter()
+            .map(|plan| self.cache.get(plan).expect("just evaluated").clone())
+            .collect()
     }
 }
 
@@ -202,5 +262,59 @@ mod tests {
             batch: 256,
         };
         assert!(ev.evaluate(&plan).is_none());
+    }
+
+    #[test]
+    fn batch_matches_serial_bitwise() {
+        let plans = [
+            PlacementPlan::CpuModel {
+                threads: 4,
+                workers: 1,
+                batch: 64,
+            },
+            PlacementPlan::CpuModel {
+                threads: 8,
+                workers: 1,
+                batch: 64,
+            },
+            PlacementPlan::CpuModel {
+                threads: 40, // infeasible on 20 cores
+                workers: 1,
+                batch: 64,
+            },
+            PlacementPlan::CpuModel {
+                threads: 4,
+                workers: 1,
+                batch: 64, // duplicate of the first
+            },
+        ];
+        let mut serial = CachedEvaluator::new(quick_ctx());
+        let expect: Vec<_> = plans.iter().map(|p| serial.evaluate(p)).collect();
+        let mut parallel = CachedEvaluator::new(quick_ctx());
+        let got = parallel.evaluate_batch(&plans, 4);
+        assert_eq!(serial.evaluations(), parallel.evaluations());
+        for (e, g) in expect.iter().zip(&got) {
+            match (e, g) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert_eq!(e.qps.value().to_bits(), g.qps.value().to_bits());
+                    assert_eq!(e.power.value().to_bits(), g.power.value().to_bits());
+                    assert_eq!(e.plan, g.plan);
+                }
+                other => panic!("feasibility mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_nmp_cache_flows_through_context() {
+        let luts = Arc::new(NmpLutCache::new());
+        let ctx = quick_ctx().with_nmp_cache(Arc::clone(&luts));
+        assert!(Arc::ptr_eq(&ctx.nmp_luts, &luts));
+        let cloned = ctx.clone();
+        assert!(
+            Arc::ptr_eq(&cloned.nmp_luts, &luts),
+            "clone shares the cache"
+        );
     }
 }

@@ -40,6 +40,8 @@ pub use cluster::policies::{
     GreedyScheduler, HerculesScheduler, NhScheduler, PriorityScheduler, SolverChoice,
 };
 pub use cluster::{Allocation, ProvisionError, ProvisionRequest, Provisioner};
-pub use eval::{CachedEvaluator, EvalContext, Evaluation};
-pub use profiler::{profile, EfficiencyEntry, EfficiencyTable, ProfilerConfig, RankMetric, Searcher};
+pub use eval::{evaluate_plan, CachedEvaluator, EvalContext, Evaluation};
+pub use profiler::{
+    profile, EfficiencyEntry, EfficiencyTable, ProfilerConfig, RankMetric, Searcher,
+};
 pub use search::{hercules_task_search, SearchOutcome};

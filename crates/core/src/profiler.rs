@@ -4,11 +4,13 @@
 //! provisioning.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use hercules_common::parallel_map;
 use hercules_common::units::{Qps, Watts};
-use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules_hw::server::ServerType;
-use hercules_sim::{PlacementPlan, SlaSpec};
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_sim::{NmpLutCache, PlacementPlan, SlaSpec};
 
 use crate::eval::{CachedEvaluator, EvalContext};
 use crate::search::baselines::baseline_search;
@@ -163,19 +165,36 @@ impl ProfilerConfig {
             ..ProfilerConfig::default()
         }
     }
+
+    /// Builder: profile with up to `n` worker threads (`1` pins the sweep to
+    /// the serial path — what tests and benches use as the reference run).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Builder: substitute the gradient-search knobs.
+    pub fn with_gradient(mut self, gradient: GradientOptions) -> Self {
+        self.gradient = gradient;
+        self
+    }
 }
 
-/// Profiles one (model, server) pair.
-pub fn profile_pair(
+/// Profiles one (model, server) pair against `luts`, the NMP LUT cache
+/// shared by the sweep.
+fn profile_pair_in(
     model: ModelKind,
     server: ServerType,
     cfg: &ProfilerConfig,
+    luts: &Arc<NmpLutCache>,
 ) -> Option<EfficiencyEntry> {
     let rec = RecModel::build(model, cfg.scale);
     let sla = cfg
         .sla_override
         .unwrap_or_else(|| SlaSpec::p95(rec.default_sla()));
-    let ctx = EvalContext::new(rec, server.spec(), sla).quick(cfg.seed);
+    let ctx = EvalContext::new(rec, server.spec(), sla)
+        .quick(cfg.seed)
+        .with_nmp_cache(Arc::clone(luts));
     let mut ev = CachedEvaluator::new(ctx);
     let outcome = match cfg.searcher {
         Searcher::Hercules => hercules_task_search(&mut ev, &cfg.gradient),
@@ -188,7 +207,24 @@ pub fn profile_pair(
     })
 }
 
-/// Profiles every (model, server) pair, in parallel across OS threads.
+/// Profiles one (model, server) pair.
+pub fn profile_pair(
+    model: ModelKind,
+    server: ServerType,
+    cfg: &ProfilerConfig,
+) -> Option<EfficiencyEntry> {
+    profile_pair_in(model, server, cfg, &Arc::new(NmpLutCache::new()))
+}
+
+/// Profiles every (model, server) pair, fanning the cells out over up to
+/// [`ProfilerConfig::parallelism`] scoped OS threads.
+///
+/// Cells are embarrassingly parallel: each builds its own evaluation
+/// context from `cfg.seed`, so a cell's tuple never depends on which worker
+/// ran it or in what order — the resulting table is bitwise-identical to a
+/// `parallelism = 1` sweep. All cells share one [`NmpLutCache`], so the
+/// cycle-level LUT sweep is paid once per distinct rank count instead of
+/// once per cell.
 pub fn profile(
     models: &[ModelKind],
     servers: &[ServerType],
@@ -198,34 +234,17 @@ pub fn profile(
         .iter()
         .flat_map(|&m| servers.iter().map(move |&s| (m, s)))
         .collect();
+    let luts = Arc::new(NmpLutCache::new());
 
-    let (tx, rx) = crossbeam::channel::unbounded();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = cfg.parallelism.clamp(1, pairs.len().max(1));
+    let entries = parallel_map(&pairs, cfg.parallelism, |&(m, s)| {
+        profile_pair_in(m, s, cfg, &luts)
+    });
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let pairs = &pairs;
-            let next = &next;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= pairs.len() {
-                    break;
-                }
-                let (m, s) = pairs[i];
-                let entry = profile_pair(m, s, cfg);
-                tx.send(((m, s), entry)).expect("receiver alive");
-            });
-        }
-        drop(tx);
-        let mut table = EfficiencyTable::new();
-        for ((m, s), entry) in rx {
-            table.insert(m, s, entry);
-        }
-        table
-    })
-    .expect("profiling threads do not panic")
+    let mut table = EfficiencyTable::new();
+    for (&(m, s), entry) in pairs.iter().zip(entries) {
+        table.insert(m, s, entry);
+    }
+    table
 }
 
 #[cfg(test)]
@@ -248,9 +267,18 @@ mod tests {
     #[test]
     fn ranking_orders_by_metric() {
         let table = EfficiencyTable::from_entries([
-            ((ModelKind::DlrmRmc1, ServerType::T2), synthetic_entry(1000.0, 200.0)),
-            ((ModelKind::DlrmRmc1, ServerType::T3), synthetic_entry(1500.0, 220.0)),
-            ((ModelKind::DlrmRmc1, ServerType::T7), synthetic_entry(1200.0, 500.0)),
+            (
+                (ModelKind::DlrmRmc1, ServerType::T2),
+                synthetic_entry(1000.0, 200.0),
+            ),
+            (
+                (ModelKind::DlrmRmc1, ServerType::T3),
+                synthetic_entry(1500.0, 220.0),
+            ),
+            (
+                (ModelKind::DlrmRmc1, ServerType::T7),
+                synthetic_entry(1200.0, 500.0),
+            ),
         ]);
         let by_qps = table.ranked_servers(ModelKind::DlrmRmc1, RankMetric::Qps);
         assert_eq!(by_qps[0].0, ServerType::T3);
@@ -276,8 +304,8 @@ mod tests {
     fn profile_pair_produces_tuple() {
         let mut cfg = ProfilerConfig::quick();
         cfg.sla_override = Some(SlaSpec::p95(SimDuration::from_millis(50)));
-        let entry = profile_pair(ModelKind::DlrmRmc1, ServerType::T2, &cfg)
-            .expect("RMC1 on T2 feasible");
+        let entry =
+            profile_pair(ModelKind::DlrmRmc1, ServerType::T2, &cfg).expect("RMC1 on T2 feasible");
         assert!(entry.qps.value() > 50.0);
         assert!(entry.power.value() > 50.0);
         assert!(entry.qps_per_watt() > 0.0);

@@ -27,6 +27,15 @@ pub struct GradientOptions {
     pub host_thread_levels: Vec<u32>,
     /// Cap on co-located GPU model instances.
     pub max_gpu_colocated: u32,
+    /// OS threads evaluating each step's candidate moves concurrently.
+    ///
+    /// `1` (the default) keeps the walk single-threaded; higher values fan
+    /// the per-step candidates out over scoped threads. Results are
+    /// bitwise-identical either way — candidates are independent simulator
+    /// runs and selection stays in candidate order — so this is purely a
+    /// wall-clock knob. Leave at `1` when an outer layer (e.g. the parallel
+    /// profiler) already saturates the machine.
+    pub parallelism: usize,
 }
 
 impl Default for GradientOptions {
@@ -36,6 +45,7 @@ impl Default for GradientOptions {
             fusion_levels: vec![256, 512, 1024, 2048, 4096, 8192],
             host_thread_levels: vec![4, 8, 12, 16],
             max_gpu_colocated: 8,
+            parallelism: 1,
         }
     }
 }
@@ -48,7 +58,14 @@ impl GradientOptions {
             fusion_levels: vec![512, 2048, 8192],
             host_thread_levels: vec![4, 10],
             max_gpu_colocated: 6,
+            ..GradientOptions::default()
         }
+    }
+
+    /// Builder: evaluate each step's candidates on up to `n` threads.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
     }
 }
 
@@ -59,12 +76,19 @@ impl GradientOptions {
 /// infeasible territory — moving along candidate directions without a
 /// feasibility requirement — until the first feasible configuration is
 /// found, then climbs normally.
+///
+/// Each step's candidate moves are independent simulator runs, so they are
+/// batch-evaluated on up to `parallelism` threads
+/// ([`CachedEvaluator::evaluate_batch`]); selection walks the results in
+/// candidate order, so the trajectory — and every cached evaluation — is
+/// bitwise-identical to the serial walk.
 fn hill_walk<S: Clone>(
     ev: &mut CachedEvaluator,
     start: S,
     plan_of: impl Fn(&S) -> PlacementPlan,
     moves: impl Fn(&S) -> Vec<S>,
     visited: &mut Vec<PlacementPlan>,
+    parallelism: usize,
 ) -> Option<Evaluation> {
     let start_plan = plan_of(&start);
     visited.push(start_plan);
@@ -82,10 +106,11 @@ fn hill_walk<S: Clone>(
                 if cands.is_empty() {
                     break;
                 }
-                for cand in &cands {
-                    let plan = plan_of(cand);
-                    visited.push(plan);
-                    if let Some(e) = ev.evaluate(&plan) {
+                let plans: Vec<PlacementPlan> = cands.iter().map(&plan_of).collect();
+                visited.extend(plans.iter().copied());
+                let evals = ev.evaluate_batch(&plans, parallelism);
+                for (cand, eval) in cands.iter().zip(evals) {
+                    if let Some(e) = eval {
                         let better = match &found {
                             None => true,
                             Some((_, b)) => e.qps > b.qps,
@@ -106,11 +131,13 @@ fn hill_walk<S: Clone>(
         }
     };
     loop {
+        let cands = moves(&cur_state);
+        let plans: Vec<PlacementPlan> = cands.iter().map(&plan_of).collect();
+        visited.extend(plans.iter().copied());
+        let evals = ev.evaluate_batch(&plans, parallelism);
         let mut best_next: Option<(S, Evaluation)> = None;
-        for cand in moves(&cur_state) {
-            let plan = plan_of(&cand);
-            visited.push(plan);
-            if let Some(e) = ev.evaluate(&plan) {
+        for (cand, eval) in cands.into_iter().zip(evals) {
+            if let Some(e) = eval {
                 if e.qps > cur.qps {
                     let better = match &best_next {
                         None => true,
@@ -139,10 +166,7 @@ fn next_level(levels: &[u32], current: u32) -> Option<u32> {
 
 /// CPU model-based scheduling: outer loop over op-parallelism `o`, inner
 /// gradient walk over `(threads, batch)`.
-pub fn search_cpu_model_based(
-    ev: &mut CachedEvaluator,
-    opts: &GradientOptions,
-) -> SearchOutcome {
+pub fn search_cpu_model_based(ev: &mut CachedEvaluator, opts: &GradientOptions) -> SearchOutcome {
     let cores = ev.ctx().server.cpu.cores;
     let mut visited = Vec::new();
     let mut best: Option<Evaluation> = None;
@@ -177,6 +201,7 @@ pub fn search_cpu_model_based(
                 c
             },
             &mut visited,
+            opts.parallelism,
         );
 
         let peak_qps = peak.as_ref().map(|e| e.qps.value());
@@ -204,10 +229,7 @@ pub fn search_cpu_model_based(
 /// CPU S-D pipeline scheduling: for each sparse op-parallelism, walk
 /// `(sparse_threads, dense_threads, batch)` to the pipeline equilibrium
 /// (paper Fig. 12a).
-pub fn search_cpu_sd_pipeline(
-    ev: &mut CachedEvaluator,
-    opts: &GradientOptions,
-) -> SearchOutcome {
+pub fn search_cpu_sd_pipeline(ev: &mut CachedEvaluator, opts: &GradientOptions) -> SearchOutcome {
     let cores = ev.ctx().server.cpu.cores;
     let mut visited = Vec::new();
     let mut best: Option<Evaluation> = None;
@@ -246,6 +268,7 @@ pub fn search_cpu_sd_pipeline(
                 c
             },
             &mut visited,
+            opts.parallelism,
         );
 
         let peak_qps = peak.as_ref().map(|e| e.qps.value());
@@ -281,10 +304,7 @@ fn fits_gpu_whole(ev: &CachedEvaluator, colocated: u32) -> bool {
 /// GPU model-based scheduling: gradient walk over `(colocated, fusion)`;
 /// production-scale models additionally sweep the host cold-sparse thread
 /// count as the outer dimension.
-pub fn search_gpu_model_based(
-    ev: &mut CachedEvaluator,
-    opts: &GradientOptions,
-) -> SearchOutcome {
+pub fn search_gpu_model_based(ev: &mut CachedEvaluator, opts: &GradientOptions) -> SearchOutcome {
     let mut visited = Vec::new();
     let mut best: Option<Evaluation> = None;
     if !ev.ctx().server.has_gpu() {
@@ -337,6 +357,7 @@ pub fn search_gpu_model_based(
                 c
             },
             &mut visited,
+            opts.parallelism,
         );
         let peak_qps = peak.as_ref().map(|e| e.qps.value());
         if let Some(e) = peak {
@@ -415,6 +436,7 @@ pub fn search_hybrid_sd(ev: &mut CachedEvaluator, opts: &GradientOptions) -> Sea
                 c
             },
             &mut visited,
+            opts.parallelism,
         );
         let peak_qps = peak.as_ref().map(|e| e.qps.value());
         if let Some(e) = peak {
@@ -491,7 +513,11 @@ mod tests {
             hercules_sim::PlacementPlan::GpuModel { .. } => {}
             other => panic!("unexpected plan {other}"),
         }
-        assert!(best.qps.value() > 500.0, "GPU should push QPS: {}", best.qps);
+        assert!(
+            best.qps.value() > 500.0,
+            "GPU should push QPS: {}",
+            best.qps
+        );
     }
 
     #[test]

@@ -105,8 +105,8 @@ pub fn cpu_op_latency(
             let local_s = est.latency.as_secs_f64() * threads as f64;
             // Only pooled outputs + indices cross the channel.
             let out_bytes = batch as f64 * spec.dim as f64 * 4.0 + accesses as f64 * 8.0;
-            let chan_bw = cfg.server.mem.peak_bw_gbs * 1e9 * calib::DDR_STREAM_EFFICIENCY
-                / threads as f64;
+            let chan_bw =
+                cfg.server.mem.peak_bw_gbs * 1e9 * calib::DDR_STREAM_EFFICIENCY / threads as f64;
             local_s.max(out_bytes / chan_bw)
         }
         None => {
@@ -124,8 +124,7 @@ pub fn cpu_op_latency(
             // SparseNet phase.
             let streams = (threads as f64 * (1.0 + 0.5 * (cfg.workers.saturating_sub(1)) as f64))
                 .clamp(1.0, cfg.server.cpu.cores as f64);
-            let bw = (per_core_gbs * 1e9)
-                .min(cfg.server.mem.peak_bw_gbs * 1e9 * eff / streams);
+            let bw = (per_core_gbs * 1e9).min(cfg.server.mem.peak_bw_gbs * 1e9 * eff / streams);
             c.total_bytes() / bw
         }
     };
@@ -147,7 +146,11 @@ fn nmp_route<'t>(
     cfg: &CpuExecConfig<'_>,
 ) -> Option<(&'t EmbeddingTableSpec, u64)> {
     let _set = cfg.nmp?;
-    if let OpKind::SparseLookup { table, reduce: true } = *op {
+    if let OpKind::SparseLookup {
+        table,
+        reduce: true,
+    } = *op
+    {
         let spec = &tables[table.index()];
         Some((spec, spec.avg_pooling() as u64))
     } else {
@@ -466,18 +469,27 @@ mod tests {
             &m.graph,
             256,
             &m.tables,
-            &GpuExecConfig { gpu: &gpu, colocated: 1 },
+            &GpuExecConfig {
+                gpu: &gpu,
+                colocated: 1,
+            },
         );
         let co4 = gpu_batch_cost(
             &m.graph,
             256,
             &m.tables,
-            &GpuExecConfig { gpu: &gpu, colocated: 4 },
+            &GpuExecConfig {
+                gpu: &gpu,
+                colocated: 4,
+            },
         );
         assert!(co4.gpu_util > solo.gpu_util);
         // Each context is not much slower while the GPU is undersubscribed.
         let slowdown = co4.latency.as_secs_f64() / solo.latency.as_secs_f64();
-        assert!(slowdown < 2.0, "undersubscribed co-location cheap: {slowdown}");
+        assert!(
+            slowdown < 2.0,
+            "undersubscribed co-location cheap: {slowdown}"
+        );
     }
 
     #[test]

@@ -241,6 +241,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // spec-table sanity checks
     fn gpu_generations_ordered() {
         assert!(GPU_V100.peak_tflops > GPU_P100.peak_tflops);
         assert!(GPU_V100.hbm_bw_gbs > GPU_P100.hbm_bw_gbs);

@@ -29,5 +29,6 @@ pub mod schedule;
 pub mod server;
 
 pub use cost::{cpu_batch_cost, gpu_batch_cost, pcie_transfer_time, BatchCost};
+pub use nmp::{NmpLutCache, NmpLutSet};
 pub use power::{Activity, PowerModel};
 pub use server::{Fleet, ServerSpec, ServerType};

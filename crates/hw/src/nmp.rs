@@ -9,6 +9,9 @@
 //! batch's embedding operation" exactly as the paper's dummy SLS-NMP operator
 //! does.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use hercules_common::units::{Joules, SimDuration};
 
 /// DDR4 device timing parameters (per-rank, in nanoseconds/cycles).
@@ -144,8 +147,7 @@ impl NmpSimulator {
         let hit_lat_ns = t.cl as f64 * t.tck_ns;
         let miss_lat_ns = (t.trp + t.trcd + t.cl) as f64 * t.tck_ns;
         // Expected access latency with the configured row-miss rate.
-        let access_lat_ns =
-            t.row_miss_rate * miss_lat_ns + (1.0 - t.row_miss_rate) * hit_lat_ns;
+        let access_lat_ns = t.row_miss_rate * miss_lat_ns + (1.0 - t.row_miss_rate) * hit_lat_ns;
         let precharge_ns = t.trp as f64 * t.tck_ns;
 
         // Per-rank state: bank ready times and data-bus ready time.
@@ -317,6 +319,55 @@ impl NmpLutSet {
     }
 }
 
+/// An explicit, shareable cache of [`NmpLutSet`]s keyed by total rank count.
+///
+/// Building a LUT set sweeps the cycle-level simulator, so every
+/// `(model, plan)` evaluation against the same memory subsystem should reuse
+/// one. The cache used to be a process-global `OnceLock`; it is now owned by
+/// whoever drives evaluations (e.g. `hercules-core`'s `EvalContext`) and
+/// threaded down explicitly, so parallel profilers can share — or isolate —
+/// LUT reuse deliberately. Cloning shares nothing; wrap in [`std::sync::Arc`]
+/// to share across threads.
+///
+/// LUT contents depend only on the rank count, so sharing a cache across
+/// threads never changes results — only how often the sweep is paid.
+#[derive(Debug, Default)]
+pub struct NmpLutCache {
+    // Per-key `OnceLock` slots: the map mutex is held only to look up or
+    // insert a slot, never across a build, so distinct rank counts build
+    // concurrently while same-key requests still dedupe to one sweep.
+    sets: Mutex<HashMap<u32, Arc<OnceLock<Arc<NmpLutSet>>>>>,
+}
+
+impl NmpLutCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        NmpLutCache::default()
+    }
+
+    /// The LUT set for `total_ranks`, building it on first use.
+    ///
+    /// Concurrent requests for the same rank count wait on one build;
+    /// requests for different rank counts build in parallel.
+    pub fn get_or_build(&self, total_ranks: u32) -> Arc<NmpLutSet> {
+        let slot = {
+            let mut sets = self.sets.lock().expect("nmp lut cache poisoned");
+            Arc::clone(sets.entry(total_ranks).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| Arc::new(NmpLutSet::standard(total_ranks))))
+    }
+
+    /// Number of distinct rank counts cached (built or building) so far.
+    pub fn len(&self) -> usize {
+        self.sets.lock().expect("nmp lut cache poisoned").len()
+    }
+
+    /// Whether nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +465,30 @@ mod tests {
         let e512 = set.estimate(512, 10_000);
         let ratio = e1024.latency.as_secs_f64() / e512.latency.as_secs_f64();
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cache_builds_once_and_shares() {
+        let cache = NmpLutCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(4);
+        let b = cache.get_or_build(4);
+        assert!(Arc::ptr_eq(&a, &b), "same rank count shares one build");
+        let c = cache.get_or_build(8);
+        assert_eq!(c.ranks(), 8);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(NmpLutCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || cache.get_or_build(2));
+            }
+        });
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -88,10 +88,7 @@ impl PowerModel {
     /// Power drawn at the given activity levels.
     pub fn power_at(&self, activity: Activity) -> Watts {
         let a = activity.clamped();
-        self.idle_power()
-            + self.cpu_dyn * a.cpu
-            + self.mem_dyn * a.mem
-            + self.gpu_dyn * a.gpu
+        self.idle_power() + self.cpu_dyn * a.cpu + self.mem_dyn * a.mem + self.gpu_dyn * a.gpu
     }
 
     /// Power at full load (≈ the sum of component TDPs, plus NMP logic).

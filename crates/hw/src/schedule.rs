@@ -97,9 +97,7 @@ where
                 let start = free.max(ready_time[node.index()]);
                 let better = match best {
                     None => true,
-                    Some((_, _, bstart, bdur)) => {
-                        start < bstart || (start == bstart && dur > bdur)
-                    }
+                    Some((_, _, bstart, bdur)) => start < bstart || (start == bstart && dur > bdur),
                 };
                 if better {
                     best = Some((ri, wi, start, dur));

@@ -226,7 +226,10 @@ impl Fleet {
 }
 
 fn index_of(t: ServerType) -> usize {
-    ServerType::ALL.iter().position(|&x| x == t).expect("all types indexed")
+    ServerType::ALL
+        .iter()
+        .position(|&x| x == t)
+        .expect("all types indexed")
 }
 
 #[cfg(test)]

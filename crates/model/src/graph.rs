@@ -216,8 +216,10 @@ impl Graph {
     /// `random_access` is set if any constituent op gathers, and
     /// `serial_steps` takes the maximum chain.
     pub fn total_cost(&self, batch: u64, tables: &[EmbeddingTableSpec]) -> OpCost {
-        let mut acc = OpCost::default();
-        acc.serial_steps = 1;
+        let mut acc = OpCost {
+            serial_steps: 1,
+            ..OpCost::default()
+        };
         for node in &self.nodes {
             let c = node.op.cost(batch, tables);
             acc.flops += c.flops;

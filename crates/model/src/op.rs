@@ -138,7 +138,11 @@ impl OpKind {
                 fused_activation,
             } => {
                 let (i, o) = (in_dim as f64, out_dim as f64);
-                let act_flops = if fused_activation.is_some() { b * o } else { 0.0 };
+                let act_flops = if fused_activation.is_some() {
+                    b * o
+                } else {
+                    0.0
+                };
                 OpCost {
                     flops: 2.0 * b * i * o + act_flops,
                     bytes_read: (i * o + b * i) * F32,
@@ -157,7 +161,11 @@ impl OpKind {
                 let out = if reduce { b * dim } else { gathered };
                 OpCost {
                     // Pooling reduction: (pooling - 1) adds per output element.
-                    flops: if reduce { b * (pooling - 1.0).max(0.0) * dim } else { 0.0 },
+                    flops: if reduce {
+                        b * (pooling - 1.0).max(0.0) * dim
+                    } else {
+                        0.0
+                    },
                     bytes_read: gathered * F32 + b * pooling * IDX,
                     bytes_written: out * F32,
                     random_access: true,
@@ -210,7 +218,10 @@ impl OpKind {
                     serial_steps: 1,
                 }
             }
-            OpKind::Concat { inputs: _, total_dim } => {
+            OpKind::Concat {
+                inputs: _,
+                total_dim,
+            } => {
                 let d = total_dim as f64;
                 OpCost {
                     flops: 0.0,
@@ -312,7 +323,10 @@ mod tests {
         let c = sls.cost(16, &tables);
         assert!(c.random_access);
         let pooling = tables[0].avg_pooling() as f64;
-        assert_eq!(c.bytes_read, 16.0 * pooling * 32.0 * 4.0 + 16.0 * pooling * 8.0);
+        assert_eq!(
+            c.bytes_read,
+            16.0 * pooling * 32.0 * 4.0 + 16.0 * pooling * 8.0
+        );
         assert_eq!(c.bytes_written, 16.0 * 32.0 * 4.0);
         // Reduction flops: (pooling - 1) * dim per item.
         assert_eq!(c.flops, 16.0 * (pooling - 1.0) * 32.0);
@@ -345,7 +359,10 @@ mod tests {
 
     #[test]
     fn interaction_pairs() {
-        let op = OpKind::FeatureInteraction { features: 11, dim: 32 };
+        let op = OpKind::FeatureInteraction {
+            features: 11,
+            dim: 32,
+        };
         let c = op.cost(1, &[]);
         assert_eq!(c.flops, 2.0 * 55.0 * 32.0);
         assert_eq!(c.bytes_written, 55.0 * 4.0);
@@ -373,9 +390,21 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(
-            OpKind::Attention { seq: 1, dim: 1, hidden: 1 }.label(),
+            OpKind::Attention {
+                seq: 1,
+                dim: 1,
+                hidden: 1
+            }
+            .label(),
             "Attn"
         );
-        assert_eq!(OpKind::Concat { inputs: 2, total_dim: 4 }.label(), "Concat");
+        assert_eq!(
+            OpKind::Concat {
+                inputs: 2,
+                total_dim: 4
+            }
+            .label(),
+            "Concat"
+        );
     }
 }

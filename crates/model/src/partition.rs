@@ -240,7 +240,10 @@ mod tests {
         let budget = MemBytes::from_gib(8);
         let p = hot_partition(&m, budget);
         assert!(p.used <= budget);
-        assert!(p.used.as_f64() > 0.9 * budget.as_f64(), "budget mostly used");
+        assert!(
+            p.used.as_f64() > 0.9 * budget.as_f64(),
+            "budget mostly used"
+        );
         assert!(p.overall_hit_rate > 0.0 && p.overall_hit_rate < 1.0);
     }
 

@@ -55,9 +55,7 @@ mod tests {
 
     #[test]
     fn footprint_orderings_match_figure_1() {
-        let fp = |k: ModelKind| {
-            footprint(&RecModel::build(k, ModelScale::Production), 128)
-        };
+        let fp = |k: ModelKind| footprint(&RecModel::build(k, ModelScale::Production), 128);
         let rmc1 = fp(ModelKind::DlrmRmc1);
         let rmc2 = fp(ModelKind::DlrmRmc2);
         let rmc3 = fp(ModelKind::DlrmRmc3);

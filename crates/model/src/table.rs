@@ -65,7 +65,10 @@ impl PoolingSpec {
     ///
     /// Panics if `min` is zero or greater than `max`.
     pub fn sequence(min: u32, max: u32) -> Self {
-        assert!(min >= 1 && min <= max, "invalid sequence range {min}..{max}");
+        assert!(
+            min >= 1 && min <= max,
+            "invalid sequence range {min}..{max}"
+        );
         PoolingSpec::Sequence { min, max }
     }
 

@@ -248,7 +248,14 @@ fn build_dlrm(cfg: DlrmConfig) -> RecModel {
 
     let mut g = Graph::new();
     // Bottom MLP over dense features.
-    let bot_out = fc_chain(&mut g, "Bot", None, cfg.dense_in, cfg.bot_fc, Activation::Relu);
+    let bot_out = fc_chain(
+        &mut g,
+        "Bot",
+        None,
+        cfg.dense_in,
+        cfg.bot_fc,
+        Activation::Relu,
+    );
     // One SLS per table (Gather-and-Reduce).
     let sls: Vec<NodeId> = (0..cfg.num_tables)
         .map(|i| {
@@ -456,7 +463,11 @@ fn build_din(scale: ModelScale, with_gru: bool) -> RecModel {
 
     debug_assert!(g.validate().is_ok());
     RecModel {
-        kind: if with_gru { ModelKind::Dien } else { ModelKind::Din },
+        kind: if with_gru {
+            ModelKind::Dien
+        } else {
+            ModelKind::Din
+        },
         scale,
         graph: g,
         tables,
@@ -513,7 +524,12 @@ mod tests {
         // The premise of HW-aware model partition (§IV-B): production models
         // do not fit a 16 GB accelerator.
         let gpu = MemBytes::from_gib(16);
-        for kind in [ModelKind::DlrmRmc2, ModelKind::DlrmRmc3, ModelKind::MtWnd, ModelKind::Din] {
+        for kind in [
+            ModelKind::DlrmRmc2,
+            ModelKind::DlrmRmc3,
+            ModelKind::MtWnd,
+            ModelKind::Din,
+        ] {
             let m = RecModel::build(kind, ModelScale::Production);
             assert!(
                 m.total_table_size() > gpu,
@@ -550,7 +566,10 @@ mod tests {
         let rmc3 = intensity(ModelKind::DlrmRmc3);
         let wnd = intensity(ModelKind::MtWnd);
         let din = intensity(ModelKind::Din);
-        assert!(rmc1 < rmc3 && rmc2 < rmc3, "RMCs 1/2 more memory-bound than RMC3");
+        assert!(
+            rmc1 < rmc3 && rmc2 < rmc3,
+            "RMCs 1/2 more memory-bound than RMC3"
+        );
         assert!(rmc1 < wnd && rmc1 < din);
         assert!(wnd > 10.0, "MT-WnD strongly compute-dominated: {wnd}");
     }
@@ -566,9 +585,18 @@ mod tests {
 
     #[test]
     fn sla_targets_match_paper() {
-        assert_eq!(ModelKind::DlrmRmc1.default_sla(), SimDuration::from_millis(20));
-        assert_eq!(ModelKind::DlrmRmc3.default_sla(), SimDuration::from_millis(50));
-        assert_eq!(ModelKind::MtWnd.default_sla(), SimDuration::from_millis(100));
+        assert_eq!(
+            ModelKind::DlrmRmc1.default_sla(),
+            SimDuration::from_millis(20)
+        );
+        assert_eq!(
+            ModelKind::DlrmRmc3.default_sla(),
+            SimDuration::from_millis(50)
+        );
+        assert_eq!(
+            ModelKind::MtWnd.default_sla(),
+            SimDuration::from_millis(100)
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of proptest's API that the Hercules property tests use: the
+//! [`proptest!`] macro, range and collection strategies, `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!`, and [`ProptestConfig::with_cases`].
+//!
+//! Semantics are simplified relative to the original — inputs are drawn from
+//! a deterministic splittable RNG (seeded per test from the test body's
+//! location) and there is no shrinking: a failing case reports the case
+//! index so it can be replayed exactly.
+
+pub mod prelude;
+pub mod runner;
+pub mod strategy;
+
+/// Strategy combinators under the `prop::` paths the original exposes.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+    /// Sampling strategies (`prop::sample::select`).
+    pub mod sample {
+        pub use crate::strategy::{select, Select};
+    }
+}
+
+pub use runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+pub use strategy::Strategy;
+
+/// Defines property tests.
+///
+/// Accepts the same surface syntax as the original macro for the forms used
+/// in this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0.0f64..1.0, 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@fns $config:expr; ) => {};
+    (
+        @fns $config:expr;
+        // `#[test]` rides along in the attribute repetition and is
+        // re-emitted verbatim on the generated zero-argument fn.
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(file!(), stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(64).max(1024),
+                    "property `{}` rejected too many inputs via prop_assume!",
+                    stringify!($name),
+                );
+                let case_rng = &mut rng;
+                $(let $arg = $crate::Strategy::generate(&($strategy), case_rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject(_)) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {}: {}",
+                            stringify!($name),
+                            accepted,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@fns $config; $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns $config; $($rest)*);
+    };
+    // No inner config attribute: default config.
+    (
+        $($rest:tt)+
+    ) => {
+        $crate::proptest!(@fns $crate::ProptestConfig::default(); $($rest)+);
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not
+/// panicking directly) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Rejects the current input, drawing a fresh one instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond)));
+        }
+    };
+}

@@ -1,0 +1,5 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::strategy::Strategy;
+pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, proptest};

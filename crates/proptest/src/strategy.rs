@@ -1,0 +1,179 @@
+//! Input-generation strategies: uniform ranges, collections, and sampling.
+
+use std::ops::Range;
+
+use crate::runner::TestRng;
+
+/// A source of random test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.uniform()
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.index((self.end - self.start) as usize) as u64)
+    }
+}
+
+impl Strategy for Range<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.index((self.end - self.start) as usize) as u32)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.index(self.end - self.start)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Collection length specification: a fixed size or a `lo..hi` range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            self.lo + rng.index(self.hi - self.lo)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec`: a vector with elements from `element` and a
+/// length drawn from `size` (a fixed `usize` or a `lo..hi` range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy picking uniformly from a fixed set of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// `prop::sample::select`: one of `items`, uniformly.
+///
+/// # Panics
+///
+/// Panics (on generation) if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "select needs at least one item");
+        self.items[rng.index(self.items.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from(9);
+        for _ in 0..500 {
+            let f = (1.5f64..3.5).generate(&mut rng);
+            assert!((1.5..3.5).contains(&f));
+            let u = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+            let w = (2u32..5).generate(&mut rng);
+            assert!((2..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::seed_from(10);
+        let exact = vec(0.0f64..1.0, 4).generate(&mut rng);
+        assert_eq!(exact.len(), 4);
+        for _ in 0..100 {
+            let v = vec(0u32..10, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn select_covers_support() {
+        let mut rng = TestRng::seed_from(11);
+        let s = select(std::vec![1, 2, 3]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -180,7 +180,10 @@ impl fmt::Display for PlanError {
             PlanError::HostMemory {
                 required,
                 available,
-            } => write!(f, "model needs {required} host memory, server has {available}"),
+            } => write!(
+                f,
+                "model needs {required} host memory, server has {available}"
+            ),
             PlanError::ZeroParameter => write!(f, "threads, workers, and batch must be positive"),
         }
     }
@@ -381,7 +384,10 @@ mod tests {
             host_sparse_threads: 2,
             host_batch: 128,
         };
-        assert_eq!(validate_plan(&p, &server, &rmc1()).unwrap_err(), PlanError::NoGpu);
+        assert_eq!(
+            validate_plan(&p, &server, &rmc1()).unwrap_err(),
+            PlanError::NoGpu
+        );
     }
 
     #[test]

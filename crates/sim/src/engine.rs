@@ -14,6 +14,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use hercules_common::stats::PercentileTracker;
 use hercules_common::units::{Joules, Qps, SimDuration, SimTime, Watts};
 use hercules_hw::cost::pcie_transfer_time;
+use hercules_hw::nmp::NmpLutCache;
 use hercules_hw::power::{Activity, PowerModel};
 use hercules_hw::server::ServerSpec;
 use hercules_model::zoo::RecModel;
@@ -183,7 +184,9 @@ impl<'a> Engine<'a> {
     }
 
     fn schedule_front(&mut self, now: SimTime) {
-        let Some(front) = &self.topo.front else { return };
+        let Some(front) = &self.topo.front else {
+            return;
+        };
         while !self.front_free.is_empty() && !self.front_queue.is_empty() {
             let thread = self.front_free.pop().expect("non-empty");
             let sub = self.front_queue.pop_front().expect("non-empty");
@@ -257,7 +260,11 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            let gpu = self.server.gpu.as_ref().expect("gpu topology on gpu server");
+            let gpu = self
+                .server
+                .gpu
+                .as_ref()
+                .expect("gpu topology on gpu server");
             let bytes = bytes_per_item * items as f64;
             let load_start = now.max(self.pcie_free);
             let load_dur = pcie_transfer_time(bytes, gpu, 1);
@@ -271,7 +278,13 @@ impl<'a> Engine<'a> {
                 load_start,
                 load_dur,
             });
-            self.push(load_start + load_dur, Ev::LoadDone { ctx, batch: batch_id });
+            self.push(
+                load_start + load_dur,
+                Ev::LoadDone {
+                    ctx,
+                    batch: batch_id,
+                },
+            );
         }
     }
 
@@ -311,10 +324,7 @@ impl<'a> Engine<'a> {
                 }
                 Ev::FrontDone { thread, sub } => {
                     self.front_free.push(thread);
-                    let forwarded = SubQuery {
-                        ready: now,
-                        ..sub
-                    };
+                    let forwarded = SubQuery { ready: now, ..sub };
                     match &self.topo.back {
                         BackStage::None => self.complete_sub(&sub, now),
                         BackStage::HostPool { .. } => {
@@ -371,6 +381,12 @@ impl<'a> Engine<'a> {
 
 /// Simulates `model` served on `server` under `plan` at `offered` load.
 ///
+/// One-shot convenience: builds the topology against a private NMP LUT
+/// cache. Callers running many simulations against the same memory
+/// subsystem should use [`simulate_cached`] (or pre-build a topology and
+/// call [`simulate_with_topology`]) so the cycle-level LUT sweep is paid
+/// once.
+///
 /// # Errors
 ///
 /// Returns a [`PlanError`] if the plan is infeasible on this server/model.
@@ -381,7 +397,23 @@ pub fn simulate(
     offered: Qps,
     cfg: &SimConfig,
 ) -> Result<SimReport, PlanError> {
-    let topo = build_topology(model, server, plan)?;
+    simulate_cached(model, server, plan, offered, cfg, &NmpLutCache::new())
+}
+
+/// [`simulate`] with an explicit, caller-owned NMP LUT cache.
+///
+/// # Errors
+///
+/// Returns a [`PlanError`] if the plan is infeasible on this server/model.
+pub fn simulate_cached(
+    model: &RecModel,
+    server: &ServerSpec,
+    plan: &PlacementPlan,
+    offered: Qps,
+    cfg: &SimConfig,
+    luts: &NmpLutCache,
+) -> Result<SimReport, PlanError> {
+    let topo = build_topology(model, server, plan, luts)?;
     simulate_with_topology(&topo, server, offered, cfg)
 }
 
@@ -394,8 +426,7 @@ pub fn simulate_with_topology(
     cfg: &SimConfig,
 ) -> Result<SimReport, PlanError> {
     let horizon = SimTime::ZERO + cfg.duration;
-    let warmup_start =
-        SimTime::ZERO + cfg.duration.mul_f64(cfg.warmup_fraction.clamp(0.0, 0.9));
+    let warmup_start = SimTime::ZERO + cfg.duration.mul_f64(cfg.warmup_fraction.clamp(0.0, 0.9));
     // Queries arriving after this instant are served but not measured; they
     // could not complete before the horizon even when meeting the SLA.
     let margin = cfg.drain_margin.min(cfg.duration.mul_f64(0.4));

@@ -27,7 +27,10 @@ pub mod search;
 pub mod service;
 
 pub use config::{PlacementPlan, PlanError, SimConfig, SlaSpec};
-pub use engine::{simulate, simulate_with_topology};
+pub use engine::{simulate, simulate_cached, simulate_with_topology};
+// Re-exported so evaluation layers can own a LUT cache without depending on
+// `hercules-hw` directly.
+pub use hercules_hw::nmp::NmpLutCache;
 pub use metrics::{LatencyBreakdown, SimReport};
 pub use search::{max_qps_under_sla, SearchOptions, SlaSearchOutcome};
 pub use service::{build_topology, Topology};

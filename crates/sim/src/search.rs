@@ -5,6 +5,7 @@
 //! meeting the SLA, by geometric ramp + binary search over simulations.
 
 use hercules_common::units::Qps;
+use hercules_hw::nmp::NmpLutCache;
 use hercules_hw::server::ServerSpec;
 use hercules_model::zoo::RecModel;
 
@@ -50,6 +51,11 @@ impl Default for SearchOptions {
 
 /// Finds the maximum arrival rate under `sla` for `(model, server, plan)`.
 ///
+/// The topology is built once against the caller-owned `luts` cache and
+/// reused across every probed rate, so searchers sharing a cache (e.g. all
+/// plans of one evaluation context, or all cells of a parallel profile) pay
+/// the NMP LUT sweep once per rank count.
+///
 /// Returns `Ok(None)` when even the starting probe rate violates the SLA
 /// (the configuration cannot serve meaningful load within target).
 ///
@@ -63,8 +69,9 @@ pub fn max_qps_under_sla(
     sla: &SlaSpec,
     cfg: &SimConfig,
     opts: &SearchOptions,
+    luts: &NmpLutCache,
 ) -> Result<Option<SlaSearchOutcome>, PlanError> {
-    let topo = build_topology(model, server, plan)?;
+    let topo = build_topology(model, server, plan, luts)?;
     let eval = |rate: Qps| {
         let mut run_cfg = *cfg;
         if let Some(target) = opts.target_queries {
@@ -178,11 +185,14 @@ mod tests {
             &SlaSpec::p95(SimDuration::from_millis(40)),
             &cfg(),
             &opts(),
+            &NmpLutCache::new(),
         )
         .unwrap()
         .expect("reasonable config sustains load");
         assert!(out.qps.value() > 64.0, "qps {}", out.qps);
-        assert!(out.report.meets(&SlaSpec::p95(SimDuration::from_millis(40))));
+        assert!(out
+            .report
+            .meets(&SlaSpec::p95(SimDuration::from_millis(40))));
     }
 
     #[test]
@@ -201,6 +211,7 @@ mod tests {
             &SlaSpec::p95(SimDuration::from_millis(15)),
             &cfg(),
             &opts(),
+            &NmpLutCache::new(),
         )
         .unwrap();
         let loose = max_qps_under_sla(
@@ -210,6 +221,7 @@ mod tests {
             &SlaSpec::p95(SimDuration::from_millis(120)),
             &cfg(),
             &opts(),
+            &NmpLutCache::new(),
         )
         .unwrap()
         .expect("loose SLA feasible");
@@ -235,6 +247,7 @@ mod tests {
             &SlaSpec::p95(SimDuration::from_micros(100)),
             &cfg(),
             &opts(),
+            &NmpLutCache::new(),
         )
         .unwrap();
         assert!(out.is_none());

@@ -3,16 +3,16 @@
 //!
 //! The operator-fusion pass runs here (paper Fig. 9a: fusion happens during
 //! HW-aware model partition), hot-embedding partitioning sizes `Gs.hot` to
-//! `accelerator memory / co-located threads`, and NMP LUTs are built once
-//! per rank count and shared process-wide.
+//! `accelerator memory / co-located threads`, and NMP LUTs are reused via an
+//! explicit caller-owned [`NmpLutCache`] — no process-global state, so
+//! parallel evaluations decide their own sharing.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 
 use hercules_common::units::MemBytes;
 use hercules_hw::cost::{cpu_batch_cost, gpu_batch_cost, BatchCost, CpuExecConfig, GpuExecConfig};
-use hercules_hw::nmp::NmpLutSet;
+use hercules_hw::nmp::{NmpLutCache, NmpLutSet};
 use hercules_hw::server::ServerSpec;
 use hercules_model::fusion::fuse_elementwise;
 use hercules_model::graph::Graph;
@@ -28,18 +28,6 @@ const BATCH_QUANTUM: u32 = 32;
 
 fn quantize(items: u32) -> u32 {
     items.div_ceil(BATCH_QUANTUM).max(1) * BATCH_QUANTUM
-}
-
-/// Process-wide NMP LUT cache (building a LUT sweeps the cycle-level
-/// simulator; every (model, plan) evaluation on the same memory reuses it).
-fn shared_nmp_luts(total_ranks: u32) -> Arc<NmpLutSet> {
-    static CACHE: OnceLock<Mutex<HashMap<u32, Arc<NmpLutSet>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("nmp lut cache poisoned");
-    guard
-        .entry(total_ranks)
-        .or_insert_with(|| Arc::new(NmpLutSet::standard(total_ranks)))
-        .clone()
 }
 
 /// Where a stage executes.
@@ -58,12 +46,16 @@ enum StageDevice {
 }
 
 /// A memoized per-batch cost function for one pipeline stage.
+///
+/// The memo table sits behind a [`Mutex`] (not a `RefCell`) so a built
+/// [`Topology`] is `Send + Sync`: parallel searchers can build and drive
+/// topologies from worker threads.
 #[derive(Debug)]
 pub struct StageService {
     graph: Graph,
     tables: Vec<EmbeddingTableSpec>,
     device: StageDevice,
-    cache: RefCell<HashMap<u32, BatchCost>>,
+    cache: Mutex<HashMap<u32, BatchCost>>,
 }
 
 impl StageService {
@@ -72,7 +64,7 @@ impl StageService {
             graph,
             tables,
             device,
-            cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -80,7 +72,7 @@ impl StageService {
     /// memoized).
     pub fn cost(&self, items: u32) -> BatchCost {
         let q = quantize(items);
-        if let Some(c) = self.cache.borrow().get(&q) {
+        if let Some(c) = self.cache.lock().expect("stage cache poisoned").get(&q) {
             return c.clone();
         }
         let cost = match &self.device {
@@ -107,7 +99,10 @@ impl StageService {
                 gpu_batch_cost(&self.graph, q as u64, &self.tables, &cfg)
             }
         };
-        self.cache.borrow_mut().insert(q, cost.clone());
+        self.cache
+            .lock()
+            .expect("stage cache poisoned")
+            .insert(q, cost.clone());
         cost
     }
 
@@ -192,6 +187,11 @@ fn scale_tables(tables: &[EmbeddingTableSpec], factor: f64) -> Vec<EmbeddingTabl
 
 /// Builds the execution topology for `plan` on `server` serving `model`.
 ///
+/// NMP LUT reuse flows through `luts`, owned by the caller: searchers and
+/// profilers hand the same cache to every build so the cycle-level sweep is
+/// paid once per rank count, while independent contexts can keep separate
+/// caches without touching global state.
+///
 /// # Errors
 ///
 /// Returns a [`PlanError`] when the plan is structurally infeasible (see
@@ -202,12 +202,13 @@ pub fn build_topology(
     model: &RecModel,
     server: &ServerSpec,
     plan: &PlacementPlan,
+    luts: &NmpLutCache,
 ) -> Result<Topology, PlanError> {
     validate_plan(plan, server, model)?;
     let nmp = server
         .mem
         .nmp_ways
-        .map(|_| shared_nmp_luts(server.mem.total_ranks()));
+        .map(|_| luts.get_or_build(server.mem.total_ranks()));
 
     match *plan {
         PlacementPlan::CpuModel {
@@ -313,9 +314,8 @@ pub fn build_topology(
                 }
                 // Capacity budget per thread: memory / co-location, with 10%
                 // headroom for dense weights and activations (§IV-B).
-                let budget = MemBytes::from_bytes(
-                    (gpu.memory.as_f64() * 0.9 / colocated as f64) as u64,
-                );
+                let budget =
+                    MemBytes::from_bytes((gpu.memory.as_f64() * 0.9 / colocated as f64) as u64);
                 let hot = hot_partition(model, budget);
                 let hit = hot.overall_hit_rate;
                 // GPU runs Gs.hot + Gd: the full graph with gather traffic
@@ -407,6 +407,22 @@ mod tests {
     use hercules_hw::server::ServerType;
     use hercules_model::zoo::{ModelKind, ModelScale};
 
+    /// Test shorthand: build with a fresh, private LUT cache.
+    fn build(
+        model: &RecModel,
+        server: &ServerSpec,
+        plan: &PlacementPlan,
+    ) -> Result<Topology, PlanError> {
+        build_topology(model, server, plan, &NmpLutCache::new())
+    }
+
+    #[test]
+    fn topology_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Topology>();
+        assert_send_sync::<StageService>();
+    }
+
     #[test]
     fn quantization_bounds_cache() {
         assert_eq!(quantize(1), 32);
@@ -419,7 +435,7 @@ mod tests {
     fn cpu_model_topology_shape() {
         let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
         let server = ServerType::T2.spec();
-        let t = build_topology(
+        let t = build(
             &m,
             &server,
             &PlacementPlan::CpuModel {
@@ -442,7 +458,7 @@ mod tests {
     fn sd_topology_splits_graph() {
         let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
         let server = ServerType::T2.spec();
-        let t = build_topology(
+        let t = build(
             &m,
             &server,
             &PlacementPlan::CpuSdPipeline {
@@ -458,7 +474,7 @@ mod tests {
         match &t.back {
             BackStage::HostPool { threads, svc } => {
                 assert_eq!(*threads, 8);
-                assert!(svc.graph().len() > 0);
+                assert!(!svc.graph().is_empty());
             }
             other => panic!("expected host pool, got {other:?}"),
         }
@@ -468,7 +484,7 @@ mod tests {
     fn small_model_rides_gpu_whole() {
         let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Small);
         let server = ServerType::T7.spec();
-        let t = build_topology(
+        let t = build(
             &m,
             &server,
             &PlacementPlan::GpuModel {
@@ -488,7 +504,7 @@ mod tests {
     fn production_model_gets_hot_partition() {
         let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Production);
         let server = ServerType::T7.spec();
-        let t = build_topology(
+        let t = build(
             &m,
             &server,
             &PlacementPlan::GpuModel {
@@ -511,7 +527,7 @@ mod tests {
     fn production_gpu_plan_requires_host_threads() {
         let m = RecModel::build(ModelKind::DlrmRmc3, ModelScale::Production);
         let server = ServerType::T7.spec();
-        let err = build_topology(
+        let err = build(
             &m,
             &server,
             &PlacementPlan::GpuModel {
@@ -529,7 +545,7 @@ mod tests {
     fn stage_cost_caches_and_scales() {
         let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
         let server = ServerType::T2.spec();
-        let t = build_topology(
+        let t = build(
             &m,
             &server,
             &PlacementPlan::CpuModel {

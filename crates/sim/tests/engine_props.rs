@@ -69,7 +69,9 @@ proptest! {
         let r = simulate(&model, &server, &plan, Qps(100.0), &quick(seed)).unwrap();
         prop_assume!(r.completed > 0);
         // A one-item batch through the same topology is the lower bound.
-        let topo = hercules_sim::build_topology(&model, &server, &plan).unwrap();
+        let topo =
+            hercules_sim::build_topology(&model, &server, &plan, &hercules_sim::NmpLutCache::new())
+                .unwrap();
         let floor = topo.front.as_ref().unwrap().svc.cost(1).latency;
         prop_assert!(r.p50 >= floor, "p50 {} < floor {}", r.p50, floor);
     }

@@ -211,7 +211,11 @@ mod tests {
         let s = solve_ilp(&lp, &IlpOptions::default());
         assert_eq!(s.status, LpStatus::Optimal);
         let (_, brute_obj) = brute_force(&lp, 5).unwrap();
-        assert!((s.objective - brute_obj).abs() < 1e-9, "{} vs {brute_obj}", s.objective);
+        assert!(
+            (s.objective - brute_obj).abs() < 1e-9,
+            "{} vs {brute_obj}",
+            s.objective
+        );
     }
 
     #[test]
@@ -221,7 +225,11 @@ mod tests {
         lp.constrain(vec![2.0, 2.0], Relation::Ge, 3.0);
         let s = solve_ilp(&lp, &IlpOptions::default());
         assert_eq!(s.status, LpStatus::Optimal);
-        assert!((s.objective - 2.0).abs() < 1e-9, "need two units: {}", s.objective);
+        assert!(
+            (s.objective - 2.0).abs() < 1e-9,
+            "need two units: {}",
+            s.objective
+        );
         assert!(s.nodes > 1, "must have branched");
     }
 

@@ -174,7 +174,11 @@ mod tests {
         let sx = solve_simplex(lp);
         assert_eq!(sx.status, LpStatus::Optimal, "simplex must solve this");
         let ip = solve_interior_point(lp);
-        assert_eq!(ip.status, LpStatus::Optimal, "interior point must solve this");
+        assert_eq!(
+            ip.status,
+            LpStatus::Optimal,
+            "interior point must solve this"
+        );
         assert!(
             (ip.objective - sx.objective).abs() <= tol * (1.0 + sx.objective.abs()),
             "objectives differ: ip {} vs simplex {}",
@@ -236,7 +240,9 @@ mod tests {
         // Deterministic pseudo-random feasible bounded LPs.
         let mut state = 0x1234_5678_u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0)
         };
         for trial in 0..10 {

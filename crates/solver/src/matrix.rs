@@ -74,6 +74,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if `x.len() != cols`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
@@ -89,6 +90,7 @@ impl Mat {
     /// # Panics
     ///
     /// Panics if `y.len() != rows`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the math
     pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "t_matvec dimension mismatch");
         let mut x = vec![0.0; self.cols];
@@ -198,6 +200,7 @@ impl Cholesky {
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the factor size.
+    #[allow(clippy::needless_range_loop)] // triangular solves read cleaner indexed
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.rows();
         assert_eq!(b.len(), n, "rhs dimension mismatch");
@@ -279,9 +282,7 @@ mod tests {
 
     #[test]
     fn ragged_rows_rejected() {
-        let r = std::panic::catch_unwind(|| {
-            Mat::from_rows(&[vec![1.0], vec![1.0, 2.0]])
-        });
+        let r = std::panic::catch_unwind(|| Mat::from_rows(&[vec![1.0], vec![1.0, 2.0]]));
         assert!(r.is_err());
     }
 

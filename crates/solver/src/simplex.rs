@@ -93,8 +93,7 @@ impl Tableau {
                         None => true,
                         Some((br, bratio)) => {
                             ratio < bratio - TOL
-                                || ((ratio - bratio).abs() <= TOL
-                                    && self.basis[r] < self.basis[br])
+                                || ((ratio - bratio).abs() <= TOL && self.basis[r] < self.basis[br])
                         }
                     };
                     if better {

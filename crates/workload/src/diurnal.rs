@@ -142,7 +142,9 @@ mod tests {
         let (a, b) = figure_8_loads();
         let agg = |h: f64| a.load_at_hours(h).value() + b.load_at_hours(h).value();
         let peak = (0..96).map(|i| agg(i as f64 / 4.0)).fold(0.0, f64::max);
-        let valley = (0..96).map(|i| agg(i as f64 / 4.0)).fold(f64::INFINITY, f64::min);
+        let valley = (0..96)
+            .map(|i| agg(i as f64 / 4.0))
+            .fold(f64::INFINITY, f64::min);
         assert!(
             (peak - valley) / peak > 0.5,
             "fluctuation {}",

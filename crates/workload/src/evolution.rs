@@ -38,7 +38,11 @@ impl EvolutionSchedule {
     /// Day-D1, so consecutive snapshot days are 2 days apart).
     pub fn paper() -> Self {
         EvolutionSchedule::new(
-            vec![ModelKind::DlrmRmc1, ModelKind::DlrmRmc2, ModelKind::DlrmRmc3],
+            vec![
+                ModelKind::DlrmRmc1,
+                ModelKind::DlrmRmc2,
+                ModelKind::DlrmRmc3,
+            ],
             vec![ModelKind::Din, ModelKind::Dien, ModelKind::MtWnd],
             10.0,
         )

@@ -43,7 +43,7 @@ impl PoissonArrivals {
     /// Advances to and returns the next arrival instant.
     pub fn next_arrival(&mut self) -> SimTime {
         let gap_s = self.gap.sample(&mut self.rng);
-        self.now = self.now + SimDuration::from_secs_f64(gap_s);
+        self.now += SimDuration::from_secs_f64(gap_s);
         self.now
     }
 }

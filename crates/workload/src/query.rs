@@ -73,8 +73,7 @@ impl QuerySizeDist {
 
     /// Draws one query size.
     pub fn sample(&self, rng: &mut SimRng) -> u32 {
-        (self.inner.sample(rng).round() as i64)
-            .clamp(self.min as i64, self.max as i64) as u32
+        (self.inner.sample(rng).round() as i64).clamp(self.min as i64, self.max as i64) as u32
     }
 
     /// The clipping bounds.

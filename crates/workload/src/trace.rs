@@ -128,11 +128,9 @@ impl QueryTrace {
             else {
                 return Err(ParseTraceError::MalformedLine { line: i + 1 });
             };
-            let (Ok(id), Ok(arr), Ok(size)) = (
-                u64::from_str(id),
-                u64::from_str(arr),
-                u32::from_str(size),
-            ) else {
+            let (Ok(id), Ok(arr), Ok(size)) =
+                (u64::from_str(id), u64::from_str(arr), u32::from_str(size))
+            else {
                 return Err(ParseTraceError::MalformedLine { line: i + 1 });
             };
             let arrival = SimTime::from_nanos(arr);
@@ -151,10 +149,7 @@ impl QueryTrace {
 
     /// Replays the trace shifted to start at `offset` (id order preserved).
     pub fn replay_from(&self, offset: SimTime) -> impl Iterator<Item = Query> + '_ {
-        let base = self
-            .queries
-            .first()
-            .map_or(SimTime::ZERO, |q| q.arrival);
+        let base = self.queries.first().map_or(SimTime::ZERO, |q| q.arrival);
         self.queries.iter().map(move |q| Query {
             id: q.id,
             arrival: offset + q.arrival.saturating_since(base),

@@ -8,13 +8,14 @@
 use hercules::common::units::Qps;
 use hercules::hw::server::ServerType;
 use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
-use hercules::sim::{simulate, PlacementPlan, SimConfig};
+use hercules::sim::{simulate_cached, NmpLutCache, PlacementPlan, SimConfig};
 
 fn main() {
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
     let server = ServerType::T7.spec(); // CPU-T2 + V100
     let rate = Qps(1_000.0);
     let cfg = SimConfig::default();
+    let luts = NmpLutCache::new();
 
     println!(
         "{} on {} at {} offered load",
@@ -66,7 +67,7 @@ fn main() {
     ];
 
     for plan in plans {
-        match simulate(&model, &server, &plan, rate, &cfg) {
+        match simulate_cached(&model, &server, &plan, rate, &cfg, &luts) {
             Ok(r) => println!(
                 "{:<30} {:>9.1} {:>9.1} {:>9.0} {:>8.0} {:>7.0}%",
                 plan.label(),

@@ -38,9 +38,8 @@ fn search_is_deterministic() {
     let run = || {
         let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
         let sla = SlaSpec::p95(model.default_sla());
-        let mut ev = CachedEvaluator::new(
-            EvalContext::new(model, ServerType::T2.spec(), sla).quick(777),
-        );
+        let mut ev =
+            CachedEvaluator::new(EvalContext::new(model, ServerType::T2.spec(), sla).quick(777));
         let out = search_cpu_model_based(&mut ev, &GradientOptions::coarse());
         let best = out.best.expect("feasible");
         (best.plan, best.qps.value().to_bits(), out.visited.len())

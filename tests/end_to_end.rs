@@ -25,6 +25,7 @@ fn two_stage_flow_profiles_then_provisions() {
             fusion_levels: vec![1024],
             host_thread_levels: vec![4],
             max_gpu_colocated: 2,
+            ..GradientOptions::default()
         },
         parallelism: 2,
         ..ProfilerConfig::quick()

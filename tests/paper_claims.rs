@@ -4,7 +4,7 @@
 
 use hercules::common::units::Qps;
 use hercules::core::eval::{CachedEvaluator, EvalContext};
-use hercules::core::search::baselines::{baseline_search, deeprecsys_search};
+use hercules::core::search::baselines::deeprecsys_search;
 use hercules::core::search::gradient::GradientOptions;
 use hercules::core::search::hercules_task_search;
 use hercules::hw::server::ServerType;
@@ -22,7 +22,12 @@ fn evaluator(kind: ModelKind, scale: ModelScale, server: ServerType, seed: u64) 
 #[test]
 fn hercules_beats_deeprecsys_on_cpu_rmc1() {
     let opts = GradientOptions::coarse();
-    let mut ev = evaluator(ModelKind::DlrmRmc1, ModelScale::Production, ServerType::T2, 1);
+    let mut ev = evaluator(
+        ModelKind::DlrmRmc1,
+        ModelScale::Production,
+        ServerType::T2,
+        1,
+    );
     let base = deeprecsys_search(&mut ev, &opts.batch_levels)
         .best
         .expect("baseline feasible");
@@ -69,8 +74,18 @@ fn fusion_and_colocation_beat_baseline_on_gpu() {
 fn nmp_helps_multi_hot_not_one_hot() {
     let opts = GradientOptions::coarse();
     // RMC1 (multi-hot): T3 (NMPx2) must beat T2 (plain DDR4).
-    let mut cpu = evaluator(ModelKind::DlrmRmc1, ModelScale::Production, ServerType::T2, 3);
-    let mut nmp = evaluator(ModelKind::DlrmRmc1, ModelScale::Production, ServerType::T3, 3);
+    let mut cpu = evaluator(
+        ModelKind::DlrmRmc1,
+        ModelScale::Production,
+        ServerType::T2,
+        3,
+    );
+    let mut nmp = evaluator(
+        ModelKind::DlrmRmc1,
+        ModelScale::Production,
+        ServerType::T3,
+        3,
+    );
     let q_cpu = hercules_task_search(&mut cpu, &opts).best.expect("T2 ok");
     let q_nmp = hercules_task_search(&mut nmp, &opts).best.expect("T3 ok");
     assert!(
@@ -103,9 +118,7 @@ fn nmp_helps_multi_hot_not_one_hot() {
 fn op_parallelism_beats_max_colocation_at_tight_sla() {
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
     let sla = SlaSpec::p95(model.default_sla()); // 20 ms
-    let mut ev = CachedEvaluator::new(
-        EvalContext::new(model, ServerType::T2.spec(), sla).quick(5),
-    );
+    let mut ev = CachedEvaluator::new(EvalContext::new(model, ServerType::T2.spec(), sla).quick(5));
     let mut best = |threads: u32, workers: u32| {
         [64u32, 128, 256, 512]
             .iter()
