@@ -49,6 +49,12 @@ pub enum ProvisionError {
         /// The stranded workload.
         workload: ModelKind,
     },
+    /// The workload's SLA headroom cannot be met at all — not even a
+    /// dedicated server keeps its tail within target (headroom below 1.0).
+    SlaInfeasible {
+        /// The workload whose SLA cannot be honored.
+        workload: ModelKind,
+    },
     /// The optimizer failed to produce a solution.
     SolverFailure,
 }
@@ -61,6 +67,9 @@ impl fmt::Display for ProvisionError {
             }
             ProvisionError::NoServerFor { workload } => {
                 write!(f, "no server type can serve {workload}")
+            }
+            ProvisionError::SlaInfeasible { workload } => {
+                write!(f, "SLA of {workload} infeasible even on a dedicated server")
             }
             ProvisionError::SolverFailure => write!(f, "provisioning optimizer failed"),
         }
@@ -160,6 +169,123 @@ impl Allocation {
     }
 }
 
+/// One tenant's slice of a shared server in a co-located allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantShare {
+    /// Workload index into the request's workload list.
+    pub workload: usize,
+    /// Fraction of the server granted to this tenant, interference
+    /// inflation included (shares on one server sum to at most 1).
+    pub share: f64,
+    /// QPS delivered to the workload from this server.
+    pub qps: f64,
+}
+
+/// One activated server and the tenants packed onto it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedServer {
+    /// The server type.
+    pub stype: ServerType,
+    /// Tenants sharing the server (one entry = dedicated).
+    pub tenants: Vec<TenantShare>,
+}
+
+impl SharedServer {
+    /// Number of co-located tenants.
+    pub fn tenant_count(&self) -> u32 {
+        self.tenants.len() as u32
+    }
+
+    /// Total fraction of the server in use.
+    pub fn load_factor(&self) -> f64 {
+        self.tenants.iter().map(|t| t.share).sum()
+    }
+
+    /// Whether the server runs a single tenant.
+    pub fn is_dedicated(&self) -> bool {
+        self.tenants.len() == 1
+    }
+}
+
+/// A multi-tenant allocation: an explicit server list, each hosting one or
+/// more tenant shares. Generalizes [`Allocation`], which dedicates whole
+/// servers per workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColocatedAllocation {
+    /// Activated servers with their tenant placements.
+    pub servers: Vec<SharedServer>,
+}
+
+impl ColocatedAllocation {
+    /// An empty allocation.
+    pub fn new() -> Self {
+        ColocatedAllocation::default()
+    }
+
+    /// Total activated servers (the cluster-capacity metric).
+    pub fn activated_total(&self) -> u32 {
+        self.servers.len() as u32
+    }
+
+    /// Activated servers of one type.
+    pub fn activated_of_type(&self, stype: ServerType) -> u32 {
+        self.servers.iter().filter(|s| s.stype == stype).count() as u32
+    }
+
+    /// Servers hosting two or more tenants.
+    pub fn shared_servers(&self) -> u32 {
+        self.servers.iter().filter(|s| s.tenants.len() > 1).count() as u32
+    }
+
+    /// Aggregate QPS delivered to workload index `w`.
+    pub fn served_qps(&self, w: usize) -> f64 {
+        self.servers
+            .iter()
+            .flat_map(|s| &s.tenants)
+            .filter(|t| t.workload == w)
+            .map(|t| t.qps)
+            .sum()
+    }
+
+    /// Total provisioned power: each server is budgeted at its most
+    /// power-hungry tenant's profiled operating point (a shared server
+    /// cannot be provisioned below any tenant's requirement).
+    pub fn provisioned_power(&self, table: &EfficiencyTable, workloads: &[ModelKind]) -> Watts {
+        let mut total = Watts::ZERO;
+        for s in &self.servers {
+            let mut peak = Watts::ZERO;
+            for t in &s.tenants {
+                if let Some(e) = table.get(workloads[t.workload], s.stype) {
+                    peak = peak.max(e.power);
+                }
+            }
+            total += peak;
+        }
+        total
+    }
+
+    /// Whether the allocation satisfies every load target, capacity limit,
+    /// and per-server share budget of `req`.
+    pub fn satisfies(&self, req: &ProvisionRequest<'_>) -> bool {
+        for (w, _) in req.workloads.iter().enumerate() {
+            if self.served_qps(w) + 1e-9 < req.target(w) {
+                return false;
+            }
+        }
+        for (stype, cap) in req.fleet.iter() {
+            if self.activated_of_type(stype) > cap {
+                return false;
+            }
+        }
+        for s in &self.servers {
+            if req.fleet.count(s.stype) == 0 || s.load_factor() > 1.0 + 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// A cluster-provisioning policy.
 pub trait Provisioner {
     /// Human-readable policy name (used in bench output).
@@ -243,6 +369,88 @@ mod tests {
         let mut over_cap = Allocation::new();
         over_cap.add(ServerType::T3, 0, 3);
         assert!(!over_cap.satisfies(&req));
+    }
+
+    #[test]
+    fn colocated_allocation_accounting() {
+        let t = table();
+        let workloads = [ModelKind::DlrmRmc1, ModelKind::DlrmRmc1];
+        let alloc = ColocatedAllocation {
+            servers: vec![
+                SharedServer {
+                    stype: ServerType::T2,
+                    tenants: vec![TenantShare {
+                        workload: 0,
+                        share: 1.0,
+                        qps: 1000.0,
+                    }],
+                },
+                SharedServer {
+                    stype: ServerType::T3,
+                    tenants: vec![
+                        TenantShare {
+                            workload: 0,
+                            share: 0.4,
+                            qps: 700.0,
+                        },
+                        TenantShare {
+                            workload: 1,
+                            share: 0.5,
+                            qps: 900.0,
+                        },
+                    ],
+                },
+            ],
+        };
+        assert_eq!(alloc.activated_total(), 2);
+        assert_eq!(alloc.activated_of_type(ServerType::T3), 1);
+        assert_eq!(alloc.shared_servers(), 1);
+        assert!((alloc.served_qps(0) - 1700.0).abs() < 1e-9);
+        assert!((alloc.served_qps(1) - 900.0).abs() < 1e-9);
+        assert!(alloc.servers[0].is_dedicated());
+        assert!(!alloc.servers[1].is_dedicated());
+        assert!((alloc.servers[1].load_factor() - 0.9).abs() < 1e-12);
+        // Power: dedicated T2 at its point + shared T3 at the max tenant.
+        assert_eq!(
+            alloc.provisioned_power(&t, &workloads),
+            Watts(200.0 + 250.0)
+        );
+    }
+
+    #[test]
+    fn colocated_satisfies_checks_shares_and_capacity() {
+        let t = table();
+        let workloads = [ModelKind::DlrmRmc1];
+        let mut fleet = Fleet::empty();
+        fleet.set(ServerType::T2, 2);
+        let loads = [900.0];
+        let req = ProvisionRequest {
+            fleet: &fleet,
+            table: &t,
+            workloads: &workloads,
+            loads: &loads,
+            over_provision: 0.0,
+        };
+        let ok = ColocatedAllocation {
+            servers: vec![SharedServer {
+                stype: ServerType::T2,
+                tenants: vec![TenantShare {
+                    workload: 0,
+                    share: 0.9,
+                    qps: 900.0,
+                }],
+            }],
+        };
+        assert!(ok.satisfies(&req));
+        let mut overloaded = ok.clone();
+        overloaded.servers[0].tenants[0].share = 1.2;
+        assert!(!overloaded.satisfies(&req), "share budget exceeded");
+        let mut short = ok.clone();
+        short.servers[0].tenants[0].qps = 500.0;
+        assert!(!short.satisfies(&req), "load target missed");
+        let mut wrong_type = ok;
+        wrong_type.servers[0].stype = ServerType::T7;
+        assert!(!wrong_type.satisfies(&req), "type absent from fleet");
     }
 
     #[test]

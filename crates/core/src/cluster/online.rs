@@ -12,7 +12,10 @@ use hercules_model::zoo::ModelKind;
 use hercules_workload::diurnal::DiurnalPattern;
 use hercules_workload::evolution::EvolutionSchedule;
 
-use crate::cluster::{Allocation, ProvisionRequest, Provisioner};
+use crate::cluster::policies::ColocationScheduler;
+use crate::cluster::{
+    Allocation, ColocatedAllocation, ProvisionError, ProvisionRequest, Provisioner,
+};
 use crate::profiler::EfficiencyTable;
 
 /// One workload's load trace over the serving horizon.
@@ -55,6 +58,10 @@ pub struct IntervalOutcome {
     pub activated: u32,
     /// Whether the policy satisfied the loads this interval.
     pub feasible: bool,
+    /// Why provisioning failed when it did (`None` on feasible intervals):
+    /// the structured reason — insufficient capacity vs. SLA-infeasible vs.
+    /// no feasible server — instead of a bare fallback allocation.
+    pub error: Option<ProvisionError>,
 }
 
 /// A full online-serving run.
@@ -181,11 +188,13 @@ pub fn run_online_with_fleet(
                     power_w,
                     activated,
                     feasible: true,
+                    error: None,
                 });
             }
-            Err(_) => {
+            Err(e) => {
                 // Best effort: record a fully-provisioned fleet as the
-                // fallback (the paper's experiments avoid this regime).
+                // fallback (the paper's experiments avoid this regime), and
+                // keep the structured failure reason alongside it.
                 let mut full = Allocation::new();
                 for (stype, cap) in fleet.iter() {
                     full.add(stype, 0, cap);
@@ -197,12 +206,190 @@ pub fn run_online_with_fleet(
                     power_w,
                     activated: fleet.total(),
                     feasible: false,
+                    error: Some(e),
                 });
             }
         }
     }
     ClusterRunReport {
         policy: policy.name(),
+        intervals,
+    }
+}
+
+/// One interval of a co-located vs. dedicated provisioning comparison.
+#[derive(Debug, Clone)]
+pub struct ColocatedIntervalOutcome {
+    /// Interval start, seconds.
+    pub t_secs: f64,
+    /// The multi-tenant allocation (empty when co-location failed).
+    pub allocation: ColocatedAllocation,
+    /// Servers activated by the co-location policy.
+    pub colocated_servers: u32,
+    /// Servers activated by the dedicated baseline policy at the same
+    /// loads (the fleet total when the baseline failed).
+    pub dedicated_servers: u32,
+    /// Provisioned power of the co-located allocation, watts.
+    pub colocated_power_w: f64,
+    /// Provisioned power of the dedicated allocation, watts.
+    pub dedicated_power_w: f64,
+    /// Whether the co-location policy satisfied the loads this interval.
+    pub feasible: bool,
+    /// Whether the dedicated baseline satisfied the loads this interval
+    /// (when `false`, `dedicated_servers` is the full-fleet fallback and
+    /// the interval is excluded from the savings metrics).
+    pub dedicated_feasible: bool,
+    /// The co-location policy's structured failure reason, when any.
+    pub error: Option<ProvisionError>,
+}
+
+impl ColocatedIntervalOutcome {
+    /// Servers saved versus dedicated provisioning this interval.
+    pub fn servers_saved(&self) -> i64 {
+        self.dedicated_servers as i64 - self.colocated_servers as i64
+    }
+}
+
+/// A diurnal co-location run: the co-location policy head-to-head against a
+/// dedicated baseline on the same traces.
+#[derive(Debug, Clone)]
+pub struct ColocationRunReport {
+    /// The dedicated baseline's policy name.
+    pub dedicated_policy: &'static str,
+    /// Per-interval outcomes.
+    pub intervals: Vec<ColocatedIntervalOutcome>,
+}
+
+impl ColocationRunReport {
+    /// Intervals where both policies were feasible — the only ones on which
+    /// a server-count comparison is meaningful (an infeasible side reports
+    /// the full-fleet fallback, not a real allocation).
+    fn comparable(&self) -> impl Iterator<Item = &ColocatedIntervalOutcome> {
+        self.intervals
+            .iter()
+            .filter(|i| i.feasible && i.dedicated_feasible)
+    }
+
+    /// Feasible intervals where co-location used strictly fewer servers
+    /// than dedicated provisioning (the consolidation wins, typically the
+    /// off-peak valley).
+    pub fn consolidated_intervals(&self) -> usize {
+        self.comparable()
+            .filter(|i| i.colocated_servers < i.dedicated_servers)
+            .count()
+    }
+
+    /// Largest per-interval server saving.
+    pub fn max_servers_saved(&self) -> i64 {
+        self.comparable()
+            .map(|i| i.servers_saved())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total server-intervals saved over the run.
+    pub fn server_intervals_saved(&self) -> i64 {
+        self.comparable().map(|i| i.servers_saved()).sum()
+    }
+
+    /// Intervals the co-location policy failed to satisfy.
+    pub fn infeasible_intervals(&self) -> usize {
+        self.intervals.iter().filter(|i| !i.feasible).count()
+    }
+}
+
+/// Runs the co-location policy over diurnal `traces`, side by side with a
+/// `dedicated` baseline policy, so consolidation savings can be reported
+/// per interval.
+///
+/// `over_provision`: `None` estimates `R` from the traces, as
+/// [`run_online`] does.
+///
+/// # Panics
+///
+/// Panics if traces are empty or their time grids disagree.
+pub fn run_online_colocated(
+    fleet: &Fleet,
+    table: &EfficiencyTable,
+    traces: &[WorkloadTrace],
+    scheduler: &ColocationScheduler,
+    dedicated: &mut dyn Provisioner,
+    over_provision: Option<f64>,
+) -> ColocationRunReport {
+    assert!(!traces.is_empty(), "need at least one workload trace");
+    let steps = traces[0].load.len();
+    assert!(
+        traces.iter().all(|t| t.load.len() == steps),
+        "traces must share a time grid"
+    );
+    let r = over_provision.unwrap_or_else(|| estimate_over_provision(traces));
+    let workloads: Vec<ModelKind> = traces.iter().map(|t| t.model).collect();
+
+    // Fallback budget for infeasible intervals: the whole fleet activated,
+    // each server priced at its most power-hungry profiled workload (so the
+    // power figure is consistent with the `fleet.total()` server count).
+    let full_fleet_power: f64 = fleet
+        .iter()
+        .map(|(stype, cap)| {
+            let peak = workloads
+                .iter()
+                .filter_map(|&m| table.get(m, stype).map(|e| e.power.value()))
+                .fold(0.0, f64::max);
+            peak * cap as f64
+        })
+        .sum();
+
+    let mut intervals = Vec::with_capacity(steps);
+    for i in 0..steps {
+        let t_secs = traces[0].load.points()[i].0;
+        let loads: Vec<f64> = traces.iter().map(|t| t.load.points()[i].1).collect();
+        let req = ProvisionRequest {
+            fleet,
+            table,
+            workloads: &workloads,
+            loads: &loads,
+            over_provision: r,
+        };
+        let (dedicated_servers, dedicated_power_w, dedicated_feasible) =
+            match dedicated.provision(&req) {
+                Ok(a) => (
+                    a.activated_total(),
+                    a.provisioned_power(table, &workloads).value(),
+                    true,
+                ),
+                Err(_) => (fleet.total(), full_fleet_power, false),
+            };
+        match scheduler.provision_colocated(&req) {
+            Ok(allocation) => {
+                let colocated_power_w = allocation.provisioned_power(table, &workloads).value();
+                let colocated_servers = allocation.activated_total();
+                intervals.push(ColocatedIntervalOutcome {
+                    t_secs,
+                    allocation,
+                    colocated_servers,
+                    dedicated_servers,
+                    colocated_power_w,
+                    dedicated_power_w,
+                    feasible: true,
+                    dedicated_feasible,
+                    error: None,
+                });
+            }
+            Err(e) => intervals.push(ColocatedIntervalOutcome {
+                t_secs,
+                allocation: ColocatedAllocation::new(),
+                colocated_servers: fleet.total(),
+                dedicated_servers,
+                colocated_power_w: full_fleet_power,
+                dedicated_power_w,
+                feasible: false,
+                dedicated_feasible,
+                error: Some(e),
+            }),
+        }
+    }
+    ColocationRunReport {
+        dedicated_policy: dedicated.name(),
         intervals,
     }
 }
@@ -378,6 +565,63 @@ mod tests {
             report.intervals[mid].power_w >= healthy.intervals[mid].power_w,
             "outage interval should cost at least as much power"
         );
+    }
+
+    #[test]
+    fn infeasible_intervals_carry_structured_errors() {
+        // A one-server fleet cannot track the diurnal peak: the failing
+        // intervals must name the reason, not just flag infeasibility.
+        let mut fleet = Fleet::empty();
+        fleet.set(ServerType::T2, 1);
+        let table = table();
+        let tr = traces();
+        let mut policy = GreedyScheduler::new(5, RankMetric::QpsPerWatt);
+        let report = run_online(&fleet, &table, &tr, &mut policy, Some(0.05));
+        assert!(report.infeasible_intervals() > 0);
+        for i in &report.intervals {
+            if i.feasible {
+                assert!(i.error.is_none());
+            } else {
+                assert!(
+                    matches!(i.error, Some(ProvisionError::InsufficientCapacity { .. })),
+                    "expected a structured capacity error, got {:?}",
+                    i.error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_run_consolidates_off_peak() {
+        use crate::cluster::policies::{ColocationScheduler, SolverChoice};
+        let mut fleet = Fleet::empty();
+        fleet.set(ServerType::T2, 100).set(ServerType::T3, 15);
+        let table = table();
+        // Light services: off-peak demand is a fraction of one server, so
+        // dedicated provisioning strands most of each server's capacity.
+        let a = DiurnalPattern::service_a(Qps(1_500.0));
+        let b = DiurnalPattern::service_b(Qps(1_200.0));
+        let tr = vec![
+            WorkloadTrace {
+                model: ModelKind::DlrmRmc1,
+                load: a.sample(1, 60, 0.0, 1),
+            },
+            WorkloadTrace {
+                model: ModelKind::DlrmRmc2,
+                load: b.sample(1, 60, 0.0, 2),
+            },
+        ];
+        let sched = ColocationScheduler::default();
+        let mut dedicated = HerculesScheduler::new(SolverChoice::BranchAndBound);
+        let report = run_online_colocated(&fleet, &table, &tr, &sched, &mut dedicated, Some(0.05));
+        assert_eq!(report.infeasible_intervals(), 0);
+        assert!(
+            report.consolidated_intervals() > 0,
+            "co-location must beat dedicated on some interval"
+        );
+        assert!(report.max_servers_saved() >= 1);
+        // Savings never go negative on feasible intervals for these loads.
+        assert!(report.server_intervals_saved() > 0);
     }
 
     #[test]

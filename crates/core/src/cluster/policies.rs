@@ -11,12 +11,16 @@
 //!   branch-and-bound.
 
 use hercules_common::rng::SimRng;
+use hercules_hw::cost::colocation_derate;
 use hercules_hw::server::ServerType;
 use hercules_solver::{
     solve_ilp, solve_interior_point, solve_simplex, IlpOptions, LinearProgram, LpStatus, Relation,
 };
 
-use crate::cluster::{Allocation, ProvisionError, ProvisionRequest, Provisioner};
+use crate::cluster::{
+    Allocation, ColocatedAllocation, ProvisionError, ProvisionRequest, Provisioner, SharedServer,
+    TenantShare,
+};
 use crate::profiler::RankMetric;
 
 /// Remaining capacity tracker shared by the list-based policies.
@@ -225,6 +229,237 @@ impl Provisioner for PriorityScheduler {
                 }
             }
         }
+    }
+}
+
+/// Controls for the co-location bin-packer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColocationOptions {
+    /// Hard cap on tenants sharing one server.
+    pub max_tenants_per_server: u32,
+    /// Tolerated tail-latency inflation at the profiled operating point: a
+    /// tenant may join a `k`-tenant server only while
+    /// `colocation_derate(k) <= headroom`. Below 1.0 the SLA is infeasible
+    /// even dedicated.
+    pub sla_headroom: f64,
+    /// Per-workload overrides of `sla_headroom`, index-aligned with the
+    /// request's workload list (missing indices use the global value).
+    pub per_workload_headroom: Vec<f64>,
+    /// Server ranking metric used when picking types.
+    pub metric: RankMetric,
+}
+
+impl Default for ColocationOptions {
+    fn default() -> Self {
+        ColocationOptions {
+            max_tenants_per_server: 4,
+            sla_headroom: 1.25,
+            per_workload_headroom: Vec::new(),
+            metric: RankMetric::QpsPerWatt,
+        }
+    }
+}
+
+impl ColocationOptions {
+    fn headroom(&self, w: usize) -> f64 {
+        self.per_workload_headroom
+            .get(w)
+            .copied()
+            .unwrap_or(self.sla_headroom)
+    }
+}
+
+/// The co-location-aware allocation policy: greedy bin-packing of tenant
+/// shares onto shared servers.
+///
+/// Full dedicated servers are provisioned first (a tenant that fills a
+/// whole server gains nothing from sharing), then the per-workload
+/// remainders — the stranded capacity of dedicated provisioning — are
+/// packed onto shared servers, largest first. A remainder joins an open
+/// server only if every tenant on it (including the newcomer) tolerates the
+/// higher interference derating under its SLA headroom and the derated
+/// shares still fit; otherwise it falls back to a dedicated server.
+#[derive(Debug, Clone, Default)]
+pub struct ColocationScheduler {
+    /// Packing controls.
+    pub opts: ColocationOptions,
+}
+
+impl ColocationScheduler {
+    /// Creates the scheduler with the given options.
+    pub fn new(opts: ColocationOptions) -> Self {
+        ColocationScheduler { opts }
+    }
+
+    /// Best-ranked server type for `model` with capacity left in `pool`.
+    fn best_available(
+        &self,
+        req: &ProvisionRequest<'_>,
+        pool: &CapacityPool,
+        w: usize,
+    ) -> Result<(ServerType, f64), ProvisionError> {
+        let model = req.workloads[w];
+        let ranked = req.table.ranked_servers(model, self.opts.metric);
+        if ranked.is_empty() {
+            return Err(ProvisionError::NoServerFor { workload: model });
+        }
+        ranked
+            .into_iter()
+            .filter_map(|(s, _)| {
+                let qps = req.table.get(model, s).map(|e| e.qps.value())?;
+                (qps > 0.0 && pool.available(s) > 0).then_some((s, qps))
+            })
+            .next()
+            .ok_or(ProvisionError::InsufficientCapacity { workload: model })
+    }
+
+    /// Computes a multi-tenant allocation for the request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProvisionError::SlaInfeasible`] when a workload's headroom is below
+    /// 1.0 (it cannot meet its SLA even dedicated),
+    /// [`ProvisionError::NoServerFor`] when the table has no entry for a
+    /// workload, and [`ProvisionError::InsufficientCapacity`] when the fleet
+    /// runs out of servers.
+    pub fn provision_colocated(
+        &self,
+        req: &ProvisionRequest<'_>,
+    ) -> Result<ColocatedAllocation, ProvisionError> {
+        for (w, &model) in req.workloads.iter().enumerate() {
+            if self.opts.headroom(w) < 1.0 {
+                return Err(ProvisionError::SlaInfeasible { workload: model });
+            }
+            if req.table.ranked_servers(model, self.opts.metric).is_empty() {
+                return Err(ProvisionError::NoServerFor { workload: model });
+            }
+        }
+
+        let mut pool = CapacityPool::new(req);
+        let mut servers: Vec<SharedServer> = Vec::new();
+        let mut remainders: Vec<(usize, f64)> = Vec::new();
+
+        // Pass 1: dedicated full servers, best-ranked type first.
+        for (w, _) in req.workloads.iter().enumerate() {
+            let mut remaining = req.target(w);
+            while remaining > 1e-9 {
+                let (stype, qps) = self.best_available(req, &pool, w)?;
+                if remaining + 1e-9 < qps {
+                    break; // less than one server's worth left
+                }
+                pool.take(stype);
+                servers.push(SharedServer {
+                    stype,
+                    tenants: vec![TenantShare {
+                        workload: w,
+                        share: 1.0,
+                        qps,
+                    }],
+                });
+                remaining -= qps;
+            }
+            if remaining > 1e-9 {
+                remainders.push((w, remaining));
+            }
+        }
+
+        // Pass 2: pack the remainders — dedicated provisioning's stranded
+        // capacity — onto shared servers, largest demand first.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite demands"));
+        let mut bins: Vec<SharedServer> = Vec::new();
+        for (w, demand) in remainders {
+            let model = req.workloads[w];
+            let mut placed = false;
+            for bin in bins.iter_mut() {
+                let k_new = bin.tenant_count() + 1;
+                if k_new > self.opts.max_tenants_per_server {
+                    continue;
+                }
+                let derate = colocation_derate(k_new);
+                // Every tenant on the server must tolerate the higher
+                // interference level — else the newcomer would break an
+                // incumbent's SLA.
+                if derate > self.opts.headroom(w)
+                    || bin
+                        .tenants
+                        .iter()
+                        .any(|t| derate > self.opts.headroom(t.workload))
+                {
+                    continue;
+                }
+                let Some(e) = req.table.get(model, bin.stype) else {
+                    continue;
+                };
+                if e.qps.value() <= 0.0 {
+                    continue;
+                }
+                let mut load = demand * derate / e.qps.value();
+                for t in &bin.tenants {
+                    let et = req
+                        .table
+                        .get(req.workloads[t.workload], bin.stype)
+                        .expect("placed tenants have table entries");
+                    load += t.qps * derate / et.qps.value();
+                }
+                if load > 1.0 + 1e-9 {
+                    continue;
+                }
+                // Commit: add the tenant and re-derate every share.
+                bin.tenants.push(TenantShare {
+                    workload: w,
+                    share: 0.0,
+                    qps: demand,
+                });
+                for t in bin.tenants.iter_mut() {
+                    let et = req
+                        .table
+                        .get(req.workloads[t.workload], bin.stype)
+                        .expect("placed tenants have table entries");
+                    t.share = t.qps * derate / et.qps.value();
+                }
+                placed = true;
+                break;
+            }
+            if placed {
+                continue;
+            }
+            // No bin fits: open a new server. The best *available* type may
+            // be smaller than the one Pass 1 sized the remainder against,
+            // so keep buying full dedicated servers until the rest fits a
+            // single one; the final slice opens a bin future remainders may
+            // join (or, for an SLA-tight tenant, it stays dedicated).
+            let mut demand = demand;
+            loop {
+                let (stype, qps) = self.best_available(req, &pool, w)?;
+                pool.take(stype);
+                if demand + 1e-9 >= qps {
+                    servers.push(SharedServer {
+                        stype,
+                        tenants: vec![TenantShare {
+                            workload: w,
+                            share: 1.0,
+                            qps,
+                        }],
+                    });
+                    demand -= qps;
+                    if demand <= 1e-9 {
+                        break;
+                    }
+                } else {
+                    bins.push(SharedServer {
+                        stype,
+                        tenants: vec![TenantShare {
+                            workload: w,
+                            share: demand / qps,
+                            qps: demand,
+                        }],
+                    });
+                    break;
+                }
+            }
+        }
+        servers.extend(bins);
+        Ok(ColocatedAllocation { servers })
     }
 }
 
@@ -695,6 +930,148 @@ mod tests {
                 workload: ModelKind::Dien
             }
         );
+    }
+
+    #[test]
+    fn colocation_consolidates_remainders() {
+        // Off-peak: each workload needs well under one server. Dedicated
+        // provisioning burns one server per workload; co-location packs
+        // both remainders onto a single shared server.
+        let (fleet, table, workloads) = scenario();
+        let loads = [300.0, 260.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let sched = ColocationScheduler::default();
+        let alloc = sched.provision_colocated(&req).unwrap();
+        assert!(alloc.satisfies(&req), "targets met within share budgets");
+        assert_eq!(alloc.shared_servers(), 1);
+        let dedicated = HerculesScheduler::new(SolverChoice::BranchAndBound)
+            .provision(&req)
+            .unwrap();
+        assert!(
+            alloc.activated_total() < dedicated.activated_total(),
+            "co-location {} vs dedicated {}",
+            alloc.activated_total(),
+            dedicated.activated_total()
+        );
+    }
+
+    #[test]
+    fn colocation_full_servers_stay_dedicated() {
+        let (fleet, table, workloads) = scenario();
+        // RMC1 at many times any single server's capacity: most of its
+        // allocation must be dedicated full servers.
+        let loads = [9_000.0, 400.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let alloc = ColocationScheduler::default()
+            .provision_colocated(&req)
+            .unwrap();
+        assert!(alloc.satisfies(&req));
+        let full = alloc
+            .servers
+            .iter()
+            .filter(|s| s.is_dedicated() && s.tenants[0].share == 1.0)
+            .count();
+        assert!(full >= 4, "expected several full servers, got {full}");
+    }
+
+    #[test]
+    fn colocation_respects_sla_tight_tenant() {
+        // Workload 0 tolerates no interference (headroom 1.0 < derate(2)):
+        // it must never share a server, while workload 1 still may.
+        let (fleet, table, workloads) = scenario();
+        let loads = [500.0, 400.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let opts = ColocationOptions {
+            per_workload_headroom: vec![1.0, 1.25],
+            ..ColocationOptions::default()
+        };
+        let alloc = ColocationScheduler::new(opts)
+            .provision_colocated(&req)
+            .unwrap();
+        assert!(alloc.satisfies(&req));
+        for s in &alloc.servers {
+            if s.tenants.iter().any(|t| t.workload == 0) {
+                assert!(
+                    s.is_dedicated(),
+                    "SLA-tight workload 0 must stay dedicated: {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn colocation_remainder_larger_than_fallback_type_buys_full_servers() {
+        // Pass 1 sizes workload 0's remainder against T2 (its best type),
+        // but workload 1 drains the last T2, so Pass 2 must fall back to
+        // the smaller T3 — and buy several of them, never oversubscribing
+        // a single server past share 1.0.
+        let mut fleet = Fleet::empty();
+        fleet.set(ServerType::T2, 2).set(ServerType::T3, 5);
+        let table = EfficiencyTable::from_entries([
+            ((ModelKind::DlrmRmc1, ServerType::T2), entry(1000.0, 250.0)),
+            ((ModelKind::DlrmRmc1, ServerType::T3), entry(400.0, 280.0)),
+            ((ModelKind::DlrmRmc2, ServerType::T2), entry(1000.0, 250.0)),
+        ]);
+        let workloads = [ModelKind::DlrmRmc1, ModelKind::DlrmRmc2];
+        let loads = [1900.0, 1000.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let alloc = ColocationScheduler::default()
+            .provision_colocated(&req)
+            .unwrap();
+        assert!(alloc.satisfies(&req), "allocation must be feasible");
+        for s in &alloc.servers {
+            assert!(
+                s.load_factor() <= 1.0 + 1e-9,
+                "oversubscribed server: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn colocation_headroom_below_one_is_sla_infeasible() {
+        let (fleet, table, workloads) = scenario();
+        let loads = [100.0, 100.0];
+        let req = request(&fleet, &table, &workloads, &loads);
+        let opts = ColocationOptions {
+            sla_headroom: 0.9,
+            ..ColocationOptions::default()
+        };
+        let err = ColocationScheduler::new(opts)
+            .provision_colocated(&req)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProvisionError::SlaInfeasible {
+                workload: workloads[0]
+            }
+        );
+    }
+
+    #[test]
+    fn colocation_errors_are_structured() {
+        let (fleet, table, _) = scenario();
+        // No table entry at all: NoServerFor.
+        let missing = [ModelKind::Dien];
+        let loads = [100.0];
+        let req = request(&fleet, &table, &missing, &loads);
+        assert_eq!(
+            ColocationScheduler::default()
+                .provision_colocated(&req)
+                .unwrap_err(),
+            ProvisionError::NoServerFor {
+                workload: missing[0]
+            }
+        );
+        // Fleet exhausted: InsufficientCapacity.
+        let (_, table, workloads) = scenario();
+        let loads = [1e9, 1e9];
+        let req = request(&fleet, &table, &workloads, &loads);
+        assert!(matches!(
+            ColocationScheduler::default()
+                .provision_colocated(&req)
+                .unwrap_err(),
+            ProvisionError::InsufficientCapacity { .. }
+        ));
     }
 
     #[test]

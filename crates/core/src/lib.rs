@@ -35,11 +35,17 @@ pub mod eval;
 pub mod profiler;
 pub mod search;
 
-pub use cluster::online::{run_online, ClusterRunReport, WorkloadTrace};
-pub use cluster::policies::{
-    GreedyScheduler, HerculesScheduler, NhScheduler, PriorityScheduler, SolverChoice,
+pub use cluster::online::{
+    run_online, run_online_colocated, ClusterRunReport, ColocationRunReport, WorkloadTrace,
 };
-pub use cluster::{Allocation, ProvisionError, ProvisionRequest, Provisioner};
+pub use cluster::policies::{
+    ColocationOptions, ColocationScheduler, GreedyScheduler, HerculesScheduler, NhScheduler,
+    PriorityScheduler, SolverChoice,
+};
+pub use cluster::{
+    Allocation, ColocatedAllocation, ProvisionError, ProvisionRequest, Provisioner, SharedServer,
+    TenantShare,
+};
 pub use eval::{evaluate_plan, CachedEvaluator, EvalContext, Evaluation};
 pub use profiler::{
     profile, EfficiencyEntry, EfficiencyTable, ProfilerConfig, RankMetric, Searcher,

@@ -1,0 +1,158 @@
+//! Property tests for the over-provision estimator and the online
+//! provisioning loop (`core::cluster::online`).
+
+use proptest::prelude::*;
+
+use hercules_common::stats::TimeSeries;
+use hercules_common::units::{Qps, Watts};
+use hercules_core::cluster::online::{estimate_over_provision, run_online, WorkloadTrace};
+use hercules_core::cluster::policies::{GreedyScheduler, SolverChoice};
+use hercules_core::cluster::ProvisionError;
+use hercules_core::profiler::{EfficiencyEntry, EfficiencyTable, RankMetric};
+use hercules_core::HerculesScheduler;
+use hercules_hw::server::{Fleet, ServerType};
+use hercules_model::zoo::ModelKind;
+use hercules_sim::PlacementPlan;
+use hercules_workload::diurnal::DiurnalPattern;
+
+fn trace_from(vals: &[f64]) -> WorkloadTrace {
+    WorkloadTrace {
+        model: ModelKind::DlrmRmc1,
+        load: vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * 60.0, v))
+            .collect::<TimeSeries>(),
+    }
+}
+
+fn entry(qps: f64, power: f64) -> EfficiencyEntry {
+    EfficiencyEntry {
+        qps: Qps(qps),
+        power: Watts(power),
+        plan: PlacementPlan::CpuModel {
+            threads: 1,
+            workers: 1,
+            batch: 64,
+        },
+    }
+}
+
+fn table() -> EfficiencyTable {
+    EfficiencyTable::from_entries([
+        ((ModelKind::DlrmRmc1, ServerType::T2), entry(1000.0, 250.0)),
+        ((ModelKind::DlrmRmc1, ServerType::T3), entry(1960.0, 280.0)),
+        ((ModelKind::DlrmRmc2, ServerType::T2), entry(700.0, 250.0)),
+        ((ModelKind::DlrmRmc2, ServerType::T3), entry(1600.0, 280.0)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `R` is a non-negative relative increment for any trace.
+    #[test]
+    fn r_is_non_negative(vals in prop::collection::vec(0.0f64..50_000.0, 2..48)) {
+        let r = estimate_over_provision(&[trace_from(&vals)]);
+        prop_assert!(r >= 0.0, "R = {r}");
+        prop_assert!(r.is_finite());
+    }
+
+    /// Non-increasing traces carry no upward increments: `R` is exactly 0.
+    #[test]
+    fn r_is_zero_for_non_increasing(vals in prop::collection::vec(0.0f64..50_000.0, 2..48)) {
+        let mut vals = vals;
+        vals.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let r = estimate_over_provision(&[trace_from(&vals)]);
+        prop_assert_eq!(r, 0.0);
+    }
+
+    /// `R` is a *relative* rate: uniformly scaling every load leaves it
+    /// unchanged (up to float rounding).
+    #[test]
+    fn r_is_scale_invariant(
+        vals in prop::collection::vec(1.0f64..50_000.0, 2..48),
+        scale in 0.01f64..1000.0,
+    ) {
+        let base = estimate_over_provision(&[trace_from(&vals)]);
+        let scaled_vals: Vec<f64> = vals.iter().map(|v| v * scale).collect();
+        let scaled = estimate_over_provision(&[trace_from(&scaled_vals)]);
+        prop_assert!(
+            (base - scaled).abs() <= 1e-9 * (1.0 + base),
+            "R changed under scaling: {base} vs {scaled}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// With an ample fleet the provisioning loop is feasible at every
+    /// interval and every allocation covers at least the raw load.
+    #[test]
+    fn ample_fleet_always_feasible(
+        peak_a in 2_000.0f64..20_000.0,
+        peak_b in 2_000.0f64..15_000.0,
+        seed in 0u64..50,
+    ) {
+        let mut fleet = Fleet::empty();
+        fleet.set(ServerType::T2, 200).set(ServerType::T3, 30);
+        let table = table();
+        let traces = vec![
+            WorkloadTrace {
+                model: ModelKind::DlrmRmc1,
+                load: DiurnalPattern::service_a(Qps(peak_a)).sample(1, 120, 0.02, seed),
+            },
+            WorkloadTrace {
+                model: ModelKind::DlrmRmc2,
+                load: DiurnalPattern::service_b(Qps(peak_b)).sample(1, 120, 0.02, seed + 1),
+            },
+        ];
+        let mut policy = HerculesScheduler::new(SolverChoice::BranchAndBound);
+        let report = run_online(&fleet, &table, &traces, &mut policy, None);
+        prop_assert_eq!(report.intervals.len(), traces[0].load.len());
+        prop_assert_eq!(report.infeasible_intervals(), 0);
+        let workloads = [ModelKind::DlrmRmc1, ModelKind::DlrmRmc2];
+        for (i, interval) in report.intervals.iter().enumerate() {
+            prop_assert!(interval.error.is_none());
+            for (w, tr) in traces.iter().enumerate() {
+                let load = tr.load.points()[i].1;
+                let served = interval.allocation.served_qps(&table, &workloads, w);
+                prop_assert!(
+                    served + 1e-6 >= load,
+                    "interval {i}: served {served} < load {load}"
+                );
+            }
+        }
+    }
+
+    /// A starved fleet fails some intervals, and every failure carries a
+    /// structured capacity error (never a silent empty allocation).
+    #[test]
+    fn starved_fleet_reports_structured_errors(seed in 0u64..50) {
+        let mut fleet = Fleet::empty();
+        fleet.set(ServerType::T2, 2);
+        let table = table();
+        let traces = vec![WorkloadTrace {
+            model: ModelKind::DlrmRmc1,
+            load: DiurnalPattern::service_a(Qps(30_000.0)).sample(1, 120, 0.02, seed),
+        }];
+        let mut policy = GreedyScheduler::new(seed, RankMetric::QpsPerWatt);
+        let report = run_online(&fleet, &table, &traces, &mut policy, Some(0.05));
+        prop_assert!(report.infeasible_intervals() > 0, "2 servers cannot serve 30K QPS");
+        for interval in &report.intervals {
+            if interval.feasible {
+                prop_assert!(interval.error.is_none());
+            } else {
+                prop_assert!(
+                    matches!(
+                        interval.error,
+                        Some(ProvisionError::InsufficientCapacity { .. })
+                    ),
+                    "expected structured error, got {:?}",
+                    interval.error
+                );
+            }
+        }
+    }
+}

@@ -70,6 +70,19 @@ pub const PCIE_SETUP_US: f64 = 12.0;
 /// this fractional slowdown to every other context.
 pub const GPU_COLOCATION_OVERHEAD: f64 = 0.03;
 
+/// Multi-tenant interference: each additional *model* co-located on a shared
+/// server derates every tenant's service time by this fraction. Distinct
+/// models thrash the LLC and memory channels with disjoint embedding working
+/// sets, which costs more than the same-model thread interference already
+/// captured by [`LLC_INTERFERENCE_PER_THREAD`] (Hera reports ~5–10% tail
+/// inflation per co-located recommendation model).
+pub const TENANT_INTERFERENCE_PER_TENANT: f64 = 0.07;
+
+/// Ceiling on the multi-tenant service-time derating factor: beyond a few
+/// tenants the working sets are already fully thrashed and adding more
+/// models costs queueing, not additional per-batch slowdown.
+pub const TENANT_DERATE_CEILING: f64 = 1.5;
+
 /// CPU idle power as a fraction of TDP.
 pub const CPU_IDLE_FRACTION: f64 = 0.30;
 

@@ -297,6 +297,23 @@ pub fn gpu_batch_cost(
     }
 }
 
+/// Service-time derating factor for `tenants` co-located *models* sharing
+/// one server (multi-tenant interference: LLC and memory-bandwidth
+/// contention across disjoint embedding working sets).
+///
+/// Exactly `1.0` for a dedicated server (`tenants <= 1`), so a
+/// single-tenant co-location run reproduces the dedicated simulation path
+/// bit-for-bit; grows linearly per extra tenant and saturates at
+/// [`calib::TENANT_DERATE_CEILING`].
+pub fn colocation_derate(tenants: u32) -> f64 {
+    if tenants <= 1 {
+        1.0
+    } else {
+        (1.0 + calib::TENANT_INTERFERENCE_PER_TENANT * (tenants - 1) as f64)
+            .min(calib::TENANT_DERATE_CEILING)
+    }
+}
+
 /// Host-to-device transfer time for `bytes` over PCIe with `contenders`
 /// concurrently-loading threads.
 pub fn pcie_transfer_time(bytes: f64, gpu: &GpuSpec, contenders: u32) -> SimDuration {
@@ -505,6 +522,26 @@ mod tests {
         let b = gpu_batch_cost(&din.graph, 8, &din.tables, &cfg);
         // At tiny batch the GRU's per-step launches dominate.
         assert!(a.latency.as_secs_f64() > b.latency.as_secs_f64() + 2e-3);
+    }
+
+    #[test]
+    fn colocation_derate_is_identity_for_one_tenant() {
+        // Bitwise 1.0 — the single-tenant regression proof depends on it.
+        assert_eq!(colocation_derate(0).to_bits(), 1.0f64.to_bits());
+        assert_eq!(colocation_derate(1).to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn colocation_derate_monotone_and_capped() {
+        let mut last = 1.0;
+        for n in 1..=32 {
+            let d = colocation_derate(n);
+            assert!(d >= last, "derate must be non-decreasing");
+            assert!(d <= crate::calib::TENANT_DERATE_CEILING);
+            last = d;
+        }
+        assert!(colocation_derate(2) > 1.0);
+        assert_eq!(colocation_derate(32), crate::calib::TENANT_DERATE_CEILING);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use hercules_common::units::{MemBytes, SimDuration};
+use hercules_common::units::{MemBytes, Qps, SimDuration};
 use hercules_hw::server::ServerSpec;
 use hercules_model::zoo::RecModel;
 
@@ -167,6 +167,18 @@ pub enum PlanError {
     },
     /// A structural parameter (threads, batch) was zero.
     ZeroParameter,
+    /// A co-location config named no tenants.
+    NoTenants,
+    /// A tenant spec is malformed: its share or offered load is
+    /// non-positive or not finite.
+    BadTenant {
+        /// Index of the offending tenant in the config's tenant list.
+        index: usize,
+    },
+    /// Co-located tenants produced structurally different topologies (e.g.
+    /// one model fits the accelerator whole while another needs a host
+    /// cold-sparse stage), which the shared-pool engine cannot serve.
+    TenantShapeMismatch,
 }
 
 impl fmt::Display for PlanError {
@@ -185,6 +197,15 @@ impl fmt::Display for PlanError {
                 "model needs {required} host memory, server has {available}"
             ),
             PlanError::ZeroParameter => write!(f, "threads, workers, and batch must be positive"),
+            PlanError::NoTenants => write!(f, "co-location config names no tenants"),
+            PlanError::BadTenant { index } => write!(
+                f,
+                "tenant {index}: share and offered load must be positive and finite"
+            ),
+            PlanError::TenantShapeMismatch => write!(
+                f,
+                "co-located tenants need structurally identical topologies"
+            ),
         }
     }
 }
@@ -330,6 +351,88 @@ impl SimConfig {
     }
 }
 
+/// One tenant of a multi-tenant (co-located) server: the model it serves,
+/// its offered load, its scheduling weight, and its latency SLA.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The recommendation model this tenant serves.
+    pub model: RecModel,
+    /// Offered arrival rate for this tenant's query stream.
+    pub offered: Qps,
+    /// Scheduling weight: the tenant's share of the shared dispatch
+    /// bandwidth under weighted round-robin (relative, need not sum to 1).
+    pub share: f64,
+    /// Per-tenant tail-latency SLA.
+    pub sla: SlaSpec,
+}
+
+impl TenantSpec {
+    /// A tenant at `offered` load with unit share and the model's default
+    /// p99 SLA.
+    pub fn new(model: RecModel, offered: Qps) -> Self {
+        let sla = SlaSpec::p99(model.default_sla());
+        TenantSpec {
+            model,
+            offered,
+            share: 1.0,
+            sla,
+        }
+    }
+
+    /// Builder: overrides the scheduling share.
+    pub fn with_share(mut self, share: f64) -> Self {
+        self.share = share;
+        self
+    }
+
+    /// Builder: overrides the SLA.
+    pub fn with_sla(mut self, sla: SlaSpec) -> Self {
+        self.sla = sla;
+        self
+    }
+}
+
+/// Simulation controls for a multi-tenant run: the shared [`SimConfig`]
+/// plus the tenant set co-located on one server.
+#[derive(Debug, Clone)]
+pub struct ColocationConfig {
+    /// Shared simulation controls (duration, warm-up, seed).
+    pub sim: SimConfig,
+    /// The co-located tenants. Tenant 0's query stream is bit-identical to
+    /// the dedicated stream at the same seed.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ColocationConfig {
+    /// Bundles simulation controls with a tenant set.
+    pub fn new(sim: SimConfig, tenants: Vec<TenantSpec>) -> Self {
+        ColocationConfig { sim, tenants }
+    }
+
+    /// Validates the tenant set.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::NoTenants`] for an empty set; [`PlanError::BadTenant`]
+    /// naming the tenant whose share or offered load is non-positive (or
+    /// not finite).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        if self.tenants.is_empty() {
+            return Err(PlanError::NoTenants);
+        }
+        for (index, t) in self.tenants.iter().enumerate() {
+            let ok = t.share.is_finite()
+                && t.share > 0.0
+                && t.offered.value().is_finite()
+                && t.offered.value() > 0.0;
+            if !ok {
+                return Err(PlanError::BadTenant { index });
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +535,42 @@ mod tests {
             batch: 128,
         };
         assert_eq!(p.label(), "SD-GPU 8x2::g2 F=off d=128");
+    }
+
+    #[test]
+    fn colocation_config_validation() {
+        use hercules_common::units::Qps;
+        let sim = SimConfig::default();
+        assert_eq!(
+            ColocationConfig::new(sim, vec![]).validate().unwrap_err(),
+            PlanError::NoTenants
+        );
+        let ok_tenant = TenantSpec::new(rmc1(), Qps(100.0));
+        let bad_share = TenantSpec::new(rmc1(), Qps(100.0)).with_share(0.0);
+        assert_eq!(
+            ColocationConfig::new(sim, vec![ok_tenant, bad_share])
+                .validate()
+                .unwrap_err(),
+            PlanError::BadTenant { index: 1 }
+        );
+        let inf_load = TenantSpec::new(rmc1(), Qps(f64::INFINITY));
+        assert_eq!(
+            ColocationConfig::new(sim, vec![inf_load])
+                .validate()
+                .unwrap_err(),
+            PlanError::BadTenant { index: 0 }
+        );
+        let ok = TenantSpec::new(rmc1(), Qps(100.0)).with_share(2.0);
+        assert!(ColocationConfig::new(sim, vec![ok]).validate().is_ok());
+    }
+
+    #[test]
+    fn tenant_spec_defaults_to_model_sla() {
+        use hercules_common::units::Qps;
+        let t = TenantSpec::new(rmc1(), Qps(50.0));
+        assert_eq!(t.sla.percentile, 0.99);
+        assert_eq!(t.sla.target, rmc1().default_sla());
+        assert_eq!(t.share, 1.0);
     }
 
     #[test]

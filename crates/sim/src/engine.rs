@@ -24,7 +24,7 @@ use crate::config::{PlacementPlan, PlanError, SimConfig};
 use crate::metrics::{LatencyBreakdown, SimReport};
 use crate::service::{build_topology, BackStage, Topology};
 
-const POWER_BUCKETS: usize = 32;
+pub(crate) const POWER_BUCKETS: usize = 32;
 
 #[derive(Debug, Clone, Copy)]
 struct SubQuery {
@@ -50,24 +50,26 @@ enum Ev {
     GpuDone { ctx: u32, batch: usize },
 }
 
-struct HeapEntry {
-    time: SimTime,
-    seq: u64,
-    ev: Ev,
+// Shared with the multi-tenant engine (`crate::colocation`), which queues
+// its own event type with identical (time, seq) ordering.
+pub(crate) struct HeapEntry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) ev: E,
 }
 
-impl PartialEq for HeapEntry {
+impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap: earliest time (then lowest seq) pops first.
         other
@@ -77,28 +79,48 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Splits a query of `size` items into sub-query sizes under the plan's
+/// data-parallel split batch (`None`: the whole query flows as one unit).
+pub(crate) fn split_sizes(size: u32, split_batch: Option<u32>) -> Vec<u32> {
+    match split_batch {
+        None => vec![size],
+        Some(d) => {
+            let mut sizes = Vec::new();
+            let mut left = size;
+            while left > 0 {
+                let take = left.min(d);
+                sizes.push(take);
+                left -= take;
+            }
+            sizes
+        }
+    }
+}
+
+// `pub(crate)` so the multi-tenant engine (`crate::colocation`) shares the
+// exact per-query record and power-bucket accounting of the dedicated path.
 #[derive(Debug, Clone, Default)]
-struct QueryRec {
-    arrival: SimTime,
-    remaining: u32,
-    n_subs: u32,
-    queuing: SimDuration,
-    loading: SimDuration,
-    inference: SimDuration,
+pub(crate) struct QueryRec {
+    pub(crate) arrival: SimTime,
+    pub(crate) remaining: u32,
+    pub(crate) n_subs: u32,
+    pub(crate) queuing: SimDuration,
+    pub(crate) loading: SimDuration,
+    pub(crate) inference: SimDuration,
 }
 
 #[derive(Debug)]
-struct Buckets {
-    width_s: f64,
-    cpu_core_s: Vec<f64>,
-    chan_bytes: Vec<f64>,
-    gpu_s: Vec<f64>,
-    pcie_s: Vec<f64>,
-    nmp_j: Vec<f64>,
+pub(crate) struct Buckets {
+    pub(crate) width_s: f64,
+    pub(crate) cpu_core_s: Vec<f64>,
+    pub(crate) chan_bytes: Vec<f64>,
+    pub(crate) gpu_s: Vec<f64>,
+    pub(crate) pcie_s: Vec<f64>,
+    pub(crate) nmp_j: Vec<f64>,
 }
 
 impl Buckets {
-    fn new(duration: SimDuration) -> Self {
+    pub(crate) fn new(duration: SimDuration) -> Self {
         Buckets {
             width_s: duration.as_secs_f64() / POWER_BUCKETS as f64,
             cpu_core_s: vec![0.0; POWER_BUCKETS],
@@ -109,8 +131,64 @@ impl Buckets {
         }
     }
 
-    fn index(&self, t: SimTime) -> usize {
+    pub(crate) fn index(&self, t: SimTime) -> usize {
         ((t.as_secs_f64() / self.width_s) as usize).min(POWER_BUCKETS - 1)
+    }
+}
+
+/// Server-level activity and power derived from the bucketed accounting —
+/// shared by the dedicated and multi-tenant report assembly so the two
+/// paths can never drift (the single-tenant bitwise-equivalence property
+/// depends on it).
+pub(crate) struct LoadSummary {
+    pub(crate) cpu_activity: f64,
+    pub(crate) mem_activity: f64,
+    pub(crate) gpu_activity: f64,
+    pub(crate) pcie_activity: f64,
+    pub(crate) mean_power: Watts,
+    pub(crate) peak_power: Watts,
+}
+
+pub(crate) fn summarize_load(
+    buckets: &Buckets,
+    server: &ServerSpec,
+    duration_s: f64,
+    total_nmp_j: f64,
+) -> LoadSummary {
+    let cores = server.cpu.cores as f64;
+    let cpu_activity = (buckets.cpu_core_s.iter().sum::<f64>() / (duration_s * cores)).min(1.0);
+    let peak_chan_bw = server.mem.peak_bw_gbs * 1e9;
+    let mem_activity =
+        (buckets.chan_bytes.iter().sum::<f64>() / duration_s / peak_chan_bw).min(1.0);
+    let gpu_activity = (buckets.gpu_s.iter().sum::<f64>() / duration_s).min(1.0);
+    let pcie_activity = (buckets.pcie_s.iter().sum::<f64>() / duration_s).min(1.0);
+
+    let pm = PowerModel::new(server);
+    let mean_power = pm.power_at(Activity {
+        cpu: cpu_activity,
+        mem: mem_activity,
+        gpu: gpu_activity,
+    }) + Watts(total_nmp_j / duration_s);
+
+    let width = buckets.width_s;
+    let mut peak_power = Watts::ZERO;
+    for b in 0..POWER_BUCKETS {
+        let act = Activity {
+            cpu: buckets.cpu_core_s[b] / (width * cores),
+            mem: buckets.chan_bytes[b] / width / peak_chan_bw,
+            gpu: buckets.gpu_s[b] / width,
+        };
+        let p = pm.power_at(act) + Watts(buckets.nmp_j[b] / width);
+        peak_power = peak_power.max(p);
+    }
+
+    LoadSummary {
+        cpu_activity,
+        mem_activity,
+        gpu_activity,
+        pcie_activity,
+        mean_power,
+        peak_power,
     }
 }
 
@@ -120,7 +198,7 @@ struct Engine<'a> {
     horizon: SimTime,
     warmup_start: SimTime,
     measure_end: SimTime,
-    heap: BinaryHeap<HeapEntry>,
+    heap: BinaryHeap<HeapEntry<Ev>>,
     seq: u64,
     queries: Vec<QueryRec>,
     all_queries: Vec<hercules_workload::query::Query>,
@@ -138,6 +216,7 @@ struct Engine<'a> {
     // Metrics.
     latency: PercentileTracker,
     completed: u64,
+    completed_total: u64,
     measured_arrivals: u64,
     sum_queuing: f64,
     sum_loading: f64,
@@ -160,27 +239,14 @@ impl<'a> Engine<'a> {
 
     fn split(&self, query_idx: u32, now: SimTime) -> Vec<SubQuery> {
         let size = self.all_queries[query_idx as usize].size;
-        match self.topo.split_batch {
-            None => vec![SubQuery {
+        split_sizes(size, self.topo.split_batch)
+            .into_iter()
+            .map(|items| SubQuery {
                 query: query_idx,
-                items: size,
+                items,
                 ready: now,
-            }],
-            Some(d) => {
-                let mut subs = Vec::new();
-                let mut left = size;
-                while left > 0 {
-                    let take = left.min(d);
-                    subs.push(SubQuery {
-                        query: query_idx,
-                        items: take,
-                        ready: now,
-                    });
-                    left -= take;
-                }
-                subs
-            }
-        }
+            })
+            .collect()
     }
 
     fn schedule_front(&mut self, now: SimTime) {
@@ -292,6 +358,7 @@ impl<'a> Engine<'a> {
         let rec = &mut self.queries[sub.query as usize];
         rec.remaining -= 1;
         if rec.remaining == 0 {
+            self.completed_total += 1;
             let lat = now.saturating_since(rec.arrival);
             if rec.arrival >= self.warmup_start && rec.arrival < self.measure_end {
                 self.completed += 1;
@@ -474,6 +541,7 @@ pub fn simulate_with_topology(
         batches: Vec::new(),
         latency: PercentileTracker::new(),
         completed: 0,
+        completed_total: 0,
         measured_arrivals,
         sum_queuing: 0.0,
         sum_loading: 0.0,
@@ -493,35 +561,21 @@ pub fn simulate_with_topology(
     // Assemble the report.
     let duration_s = cfg.duration.as_secs_f64();
     let window_s = (measure_end - warmup_start).as_secs_f64().max(1e-9);
-    let cores = server.cpu.cores as f64;
-    let cpu_activity =
-        (engine.buckets.cpu_core_s.iter().sum::<f64>() / (duration_s * cores)).min(1.0);
-    let peak_chan_bw = server.mem.peak_bw_gbs * 1e9;
-    let mem_activity =
-        (engine.buckets.chan_bytes.iter().sum::<f64>() / duration_s / peak_chan_bw).min(1.0);
-    let gpu_activity = (engine.buckets.gpu_s.iter().sum::<f64>() / duration_s).min(1.0);
-    let pcie_activity = (engine.buckets.pcie_s.iter().sum::<f64>() / duration_s).min(1.0);
-
-    let pm = PowerModel::new(server);
-    let mean_power = pm.power_at(Activity {
-        cpu: cpu_activity,
-        mem: mem_activity,
-        gpu: gpu_activity,
-    }) + Watts(engine.total_nmp_j / duration_s);
-
-    let width = engine.buckets.width_s;
-    let mut peak_power = Watts::ZERO;
-    for b in 0..POWER_BUCKETS {
-        let act = Activity {
-            cpu: engine.buckets.cpu_core_s[b] / (width * cores),
-            mem: engine.buckets.chan_bytes[b] / width / peak_chan_bw,
-            gpu: engine.buckets.gpu_s[b] / width,
-        };
-        let p = pm.power_at(act) + Watts(engine.buckets.nmp_j[b] / width);
-        peak_power = peak_power.max(p);
-    }
+    let LoadSummary {
+        cpu_activity,
+        mem_activity,
+        gpu_activity,
+        pcie_activity,
+        mean_power,
+        peak_power,
+    } = summarize_load(&engine.buckets, server, duration_s, engine.total_nmp_j);
 
     let completed = engine.completed;
+    let total_arrivals = engine.queries.len() as u64;
+    let completed_total = engine.completed_total;
+    // Every arrival was split (arrival events precede the horizon), so a
+    // query with outstanding sub-queries is exactly one still in flight.
+    let in_flight_at_horizon = engine.queries.iter().filter(|q| q.remaining > 0).count() as u64;
     let achieved = Qps(completed as f64 / window_s);
     let mut lat = engine.latency;
     let to_dur = |s: Option<f64>| SimDuration::from_secs_f64(s.unwrap_or(0.0));
@@ -556,6 +610,9 @@ pub fn simulate_with_topology(
         achieved,
         measured_arrivals: engine.measured_arrivals,
         completed,
+        total_arrivals,
+        completed_total,
+        in_flight_at_horizon,
         mean_latency,
         p50,
         p95,

@@ -20,17 +20,19 @@
 //! # Ok::<(), hercules_sim::PlanError>(())
 //! ```
 
+pub mod colocation;
 pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod search;
 pub mod service;
 
-pub use config::{PlacementPlan, PlanError, SimConfig, SlaSpec};
+pub use colocation::simulate_colocated;
+pub use config::{ColocationConfig, PlacementPlan, PlanError, SimConfig, SlaSpec, TenantSpec};
 pub use engine::{simulate, simulate_cached, simulate_with_topology};
 // Re-exported so evaluation layers can own a LUT cache without depending on
 // `hercules-hw` directly.
 pub use hercules_hw::nmp::NmpLutCache;
-pub use metrics::{LatencyBreakdown, SimReport};
+pub use metrics::{ColocationReport, LatencyBreakdown, SimReport};
 pub use search::{max_qps_under_sla, SearchOptions, SlaSearchOutcome};
 pub use service::{build_topology, Topology};

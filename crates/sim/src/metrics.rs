@@ -43,6 +43,15 @@ pub struct SimReport {
     pub measured_arrivals: u64,
     /// Of those, queries that completed before the horizon.
     pub completed: u64,
+    /// All arrivals over the full horizon (including warm-up and drain).
+    pub total_arrivals: u64,
+    /// Of all arrivals, queries fully served by the horizon (a superset of
+    /// `completed`, which is restricted to the measurement window).
+    pub completed_total: u64,
+    /// Queries still queued or in service when the horizon ended. The
+    /// conservation law `completed_total + in_flight_at_horizon ==
+    /// total_arrivals` must hold for every run.
+    pub in_flight_at_horizon: u64,
     /// Mean end-to-end query latency.
     pub mean_latency: SimDuration,
     /// Median latency.
@@ -105,6 +114,52 @@ impl SimReport {
     }
 }
 
+/// Outcome of a multi-tenant (co-located) simulation: one [`SimReport`] per
+/// tenant plus the aggregate server view.
+///
+/// Per-tenant reports carry tenant-local arrival/completion/latency figures;
+/// their power and activity fields mirror the *whole shared server* (a
+/// tenant cannot dissipate a fraction of the socket on its own), and
+/// `energy_per_query` divides server energy by the *aggregate* completion
+/// count, so `energy_per_query * completed` summed across tenants recovers
+/// the server's energy exactly. The aggregate report sums arrivals and
+/// completions across tenants and draws percentiles from the merged latency
+/// population.
+#[derive(Debug, Clone)]
+pub struct ColocationReport {
+    /// Tenant-local reports, index-aligned with the config's tenant list.
+    pub per_tenant: Vec<SimReport>,
+    /// The whole-server view.
+    pub aggregate: SimReport,
+}
+
+impl ColocationReport {
+    /// Number of co-located tenants.
+    pub fn tenants(&self) -> usize {
+        self.per_tenant.len()
+    }
+
+    /// Sum of per-tenant completed counts (must equal
+    /// `aggregate.completed`).
+    pub fn total_completed(&self) -> u64 {
+        self.per_tenant.iter().map(|r| r.completed).sum()
+    }
+
+    /// Whether every tenant meets its SLA (`slas` is index-aligned with
+    /// the tenant list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slas` and the tenant list have different lengths.
+    pub fn all_meet(&self, slas: &[SlaSpec]) -> bool {
+        assert_eq!(slas.len(), self.per_tenant.len(), "one SLA per tenant");
+        self.per_tenant
+            .iter()
+            .zip(slas)
+            .all(|(r, sla)| r.meets(sla))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +170,9 @@ mod tests {
             achieved: Qps(990.0),
             measured_arrivals: 1000,
             completed: 990,
+            total_arrivals: 1200,
+            completed_total: 1180,
+            in_flight_at_horizon: 20,
             mean_latency: SimDuration::from_millis(8),
             p50: SimDuration::from_millis(6),
             p95: SimDuration::from_millis(18),
@@ -165,5 +223,27 @@ mod tests {
     #[test]
     fn qps_per_watt() {
         assert!((report().qps_per_watt() - 4.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn colocation_report_sums_and_sla() {
+        let a = report();
+        let mut b = report();
+        b.completed = 500;
+        b.p95 = SimDuration::from_millis(25);
+        let mut agg = report();
+        agg.completed = a.completed + b.completed;
+        let co = ColocationReport {
+            per_tenant: vec![a, b],
+            aggregate: agg,
+        };
+        assert_eq!(co.tenants(), 2);
+        assert_eq!(co.total_completed(), co.aggregate.completed);
+        let loose = SlaSpec::p95(SimDuration::from_millis(30));
+        let tight = SlaSpec::p95(SimDuration::from_millis(20));
+        assert!(!co.all_meet(&[loose, tight]), "tenant 1 misses 20ms at p95");
+        // Tenant 1 completed 500 of 1000 measured arrivals: saturated, so
+        // even a loose SLA fails for it.
+        assert!(!co.all_meet(&[loose, loose]));
     }
 }

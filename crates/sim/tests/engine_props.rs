@@ -55,6 +55,44 @@ proptest! {
         }
     }
 
+    /// Conservation at the horizon: every arrival is either fully served or
+    /// still in flight when the simulation ends — no query vanishes. With
+    /// splitting disabled (batch >= the 1000-item size cap, one sub-query
+    /// per query) the latency breakdown is exact: queuing + loading +
+    /// inference sums to end-to-end latency.
+    #[test]
+    fn conservation_and_breakdown_sum(
+        rate in 100.0f64..6000.0,
+        threads in 4u32..16,
+        seed in 0u64..100,
+    ) {
+        let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let server = ServerType::T2.spec();
+        let plan = PlacementPlan::CpuModel {
+            threads,
+            workers: 1,
+            batch: 1024,
+        };
+        let r = simulate(&model, &server, &plan, Qps(rate), &quick(seed)).unwrap();
+        prop_assert_eq!(
+            r.completed_total + r.in_flight_at_horizon,
+            r.total_arrivals,
+            "arrivals must be completed or queued at the horizon"
+        );
+        prop_assert!(r.completed <= r.completed_total);
+        prop_assert!(r.measured_arrivals <= r.total_arrivals);
+        if r.completed > 0 {
+            let parts = r.breakdown.queuing.as_secs_f64()
+                + r.breakdown.loading.as_secs_f64()
+                + r.breakdown.inference.as_secs_f64();
+            let mean = r.mean_latency.as_secs_f64();
+            prop_assert!(
+                (parts - mean).abs() <= 1e-9 + 1e-6 * mean,
+                "breakdown {parts} vs end-to-end {mean}"
+            );
+        }
+    }
+
     /// The latency floor: no query finishes faster than a single-item batch
     /// service time on its fastest path.
     #[test]

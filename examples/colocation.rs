@@ -1,0 +1,94 @@
+//! Multi-tenant co-location: pack two diurnal services onto shared servers
+//! and compare against dedicated provisioning — the stranded-capacity
+//! recovery scenario (Hera-style multi-tenancy on top of the paper's
+//! per-workload provisioning).
+//!
+//! Two stages:
+//! 1. **Cluster view** — run the co-location bin-packer head-to-head with
+//!    the Hercules dedicated provisioner over a diurnal day and report the
+//!    per-interval server savings (off-peak consolidation).
+//! 2. **Server view** — simulate one consolidated off-peak shared server
+//!    with the discrete-event engine and show every tenant's p99 staying
+//!    within its SLA despite the interference derating.
+//!
+//! The calibrated numbers live in `hercules::scenarios::colocation_demo`.
+//!
+//! Run with: `cargo run --release --example colocation`
+
+use hercules::core::cluster::online::run_online_colocated;
+use hercules::core::cluster::policies::{ColocationScheduler, HerculesScheduler, SolverChoice};
+use hercules::hw::cost::colocation_derate;
+use hercules::scenarios::colocation_demo;
+use hercules::sim::{simulate_colocated, NmpLutCache};
+
+fn main() {
+    let demo = colocation_demo();
+
+    // ── Stage 1: diurnal provisioning, co-located vs. dedicated ──────────
+    let scheduler = ColocationScheduler::default();
+    let mut dedicated = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let report = run_online_colocated(
+        &demo.fleet,
+        &demo.table,
+        &demo.traces,
+        &scheduler,
+        &mut dedicated,
+        None,
+    );
+
+    println!(
+        "== Diurnal provisioning: co-located vs dedicated ({}) ==",
+        report.dedicated_policy
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>7}",
+        "hour", "dedicated", "colocated", "saved"
+    );
+    for i in &report.intervals {
+        println!(
+            "{:>6.1} {:>10} {:>10} {:>7}",
+            i.t_secs / 3600.0,
+            i.dedicated_servers,
+            i.colocated_servers,
+            i.servers_saved()
+        );
+    }
+    println!(
+        "consolidated intervals: {} / {}; max saving {} servers; {} server-intervals total",
+        report.consolidated_intervals(),
+        report.intervals.len(),
+        report.max_servers_saved(),
+        report.server_intervals_saved()
+    );
+
+    // ── Stage 2: one consolidated off-peak shared server under the DES ───
+    let server = demo.server.spec();
+    let r = simulate_colocated(&server, &demo.plan, &demo.sim, &NmpLutCache::new())
+        .expect("CPU plan feasible for both tenants");
+
+    println!();
+    println!(
+        "== Off-peak shared {} server (derate {:.2}) ==",
+        demo.server.label(),
+        colocation_derate(r.tenants() as u32)
+    );
+    for (i, t) in r.per_tenant.iter().enumerate() {
+        println!(
+            "tenant {i}: offered {:>7}  completed {:>5}/{:<5}  p99 {:>9}  SLA {:>6} -> {}",
+            t.offered,
+            t.completed,
+            t.measured_arrivals,
+            t.p99,
+            demo.slas[i].target,
+            if t.meets(&demo.slas[i]) { "OK" } else { "MISS" }
+        );
+    }
+    println!(
+        "aggregate: {} completed, p99 {}, mean power {}",
+        r.aggregate.completed, r.aggregate.p99, r.aggregate.mean_power
+    );
+    assert!(
+        r.all_meet(&demo.slas),
+        "off-peak co-location must keep every tenant within SLA"
+    );
+}
