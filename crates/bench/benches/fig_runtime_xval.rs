@@ -1,0 +1,112 @@
+//! Fig. R (extension) — simulator ↔ runtime cross-validation: the
+//! discrete-event engine, the virtual-clock runtime, and the wall-clock
+//! runtime (real threads, busy-wait service) serve the quickstart scenario
+//! at increasing load, side by side.
+//!
+//! Headline: the executable serving path reproduces the simulator's
+//! latency model — p50/p99 agree within the telemetry histogram's bucket
+//! resolution on the virtual clock, and the threaded run adds only the
+//! real concurrency effects (queue contention, wake-up jitter) the DES
+//! cannot show. This is the first end-to-end validation of the latency
+//! model against code that actually runs on cores.
+
+use hercules_bench::{banner, f, TableWriter};
+use hercules_common::units::{Qps, SimDuration};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{ClockMode, RuntimeConfig, ServingRuntime};
+use hercules_sim::{simulate_cached, NmpLutCache, PlacementPlan, SimConfig};
+
+fn main() {
+    banner("Fig. R: sim vs runtime (virtual) vs runtime (wall), quickstart scenario");
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuModel {
+        threads: 10,
+        workers: 2,
+        batch: 256,
+    };
+    let cfg = SimConfig {
+        duration: SimDuration::from_millis(1500),
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed: 7,
+    };
+    let luts = NmpLutCache::new();
+    // Compress wall time 4x so the whole figure stays under ~2s of spin.
+    let wall_cfg = RuntimeConfig::from_sim(&cfg).with_clock(ClockMode::Wall { time_scale: 0.25 });
+    let virt_cfg = RuntimeConfig::from_sim(&cfg);
+
+    let w = TableWriter::new(&[
+        ("offered", 8),
+        ("backend", 14),
+        ("achieved", 9),
+        ("p50 (ms)", 9),
+        ("p99 (ms)", 9),
+        ("queuing %", 9),
+        ("wall cost (s)", 13),
+    ]);
+    for rate in [150.0, 400.0, 550.0] {
+        let sim =
+            simulate_cached(&model, &server, &plan, Qps(rate), &cfg, &luts).expect("feasible plan");
+        let virt = ServingRuntime::build(&model, server.clone(), &plan, virt_cfg, &luts)
+            .expect("feasible")
+            .serve(Qps(rate));
+        let wallr = ServingRuntime::build(&model, server.clone(), &plan, wall_cfg, &luts)
+            .expect("feasible")
+            .serve(Qps(rate));
+
+        let row = |backend: &str,
+                   achieved: f64,
+                   p50: SimDuration,
+                   p99: SimDuration,
+                   queuing: f64,
+                   wall: Option<f64>| {
+            w.row(&[
+                f(rate, 0),
+                backend.to_string(),
+                f(achieved, 1),
+                f(p50.as_millis_f64(), 3),
+                f(p99.as_millis_f64(), 3),
+                f(100.0 * queuing, 1),
+                wall.map_or("-".into(), |s| f(s, 2)),
+            ]);
+        };
+        row(
+            "sim",
+            sim.achieved.value(),
+            sim.p50,
+            sim.p99,
+            sim.breakdown.fractions().0,
+            None,
+        );
+        row(
+            "runtime/virt",
+            virt.sim.achieved.value(),
+            virt.sim.p50,
+            virt.sim.p99,
+            virt.sim.breakdown.fractions().0,
+            None,
+        );
+        row(
+            "runtime/wall",
+            wallr.sim.achieved.value(),
+            wallr.sim.p50,
+            wallr.sim.p99,
+            wallr.sim.breakdown.fractions().0,
+            wallr.wall_elapsed_s,
+        );
+
+        // The acceptance bound the test suite pins: virtual runtime within
+        // ±10% of the DES on the measured tail.
+        let rel = |a: SimDuration, b: SimDuration| {
+            (a.as_secs_f64() - b.as_secs_f64()).abs() / b.as_secs_f64().max(1e-12)
+        };
+        assert!(
+            rel(virt.sim.p50, sim.p50) <= 0.10 && rel(virt.sim.p99, sim.p99) <= 0.10,
+            "virtual runtime strayed from the simulator at {rate} QPS"
+        );
+    }
+    println!();
+    println!("virtual-clock p50/p99 pinned within ±10% of sim at every load");
+}

@@ -235,6 +235,206 @@ impl Default for PercentileTracker {
     }
 }
 
+/// A mergeable fixed-bucket log-scale latency histogram.
+///
+/// Built for cross-thread aggregation: every worker records into its own
+/// histogram with **no allocation on the record path** (buckets are sized at
+/// construction), and per-worker histograms [`merge`](LatencyHistogram::merge)
+/// into one population afterwards. Unlike [`PercentileTracker`]'s sampling
+/// reservoir — whose merged quantiles are biased by whichever reservoir
+/// happened to keep which samples — bucket counts merge exactly: a merged
+/// histogram's counts, quantiles, and extrema are bit-identical to one
+/// that saw every observation directly, in any merge order. (The running
+/// `sum` behind [`mean`](LatencyHistogram::mean) commutes pairwise but,
+/// like any float accumulation, is not associative across 3+ merges.)
+///
+/// Buckets are geometric: bucket `i` spans `[lo * ratio^i, lo * ratio^(i+1))`.
+/// Values below `lo` clamp into bucket 0 and values past `hi` land in a
+/// final overflow bucket, so a quantile is always within one bucket (a
+/// relative error of `ratio`) of the exact order statistic. The default
+/// latency range (500 ns – 1000 s, 1024 buckets) keeps that error under
+/// ~2.1%.
+///
+/// ```
+/// use hercules_common::stats::LatencyHistogram;
+/// let mut a = LatencyHistogram::default_latency();
+/// let mut b = LatencyHistogram::default_latency();
+/// a.record(1e-3);
+/// b.record(2e-3);
+/// a.merge(&b);
+/// assert_eq!(a.count(), 2);
+/// assert!(a.quantile(1.0).unwrap() <= 2e-3 * 1.03);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    lo: f64,
+    /// Precomputed `1 / ln(ratio)` so the record path is one `ln` + one
+    /// multiply.
+    inv_ln_ratio: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with `buckets` geometric buckets spanning
+    /// `[lo, hi)` plus one overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo <= 0`, `hi <= lo`, or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo, "invalid histogram range [{lo}, {hi})");
+        assert!(buckets > 0, "need at least one bucket");
+        let ratio = (hi / lo).powf(1.0 / buckets as f64);
+        LatencyHistogram {
+            lo,
+            inv_ln_ratio: 1.0 / ratio.ln(),
+            ratio,
+            counts: vec![0; buckets + 1],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The default latency configuration: 500 ns – 1000 s across 1024
+    /// buckets (quantile resolution ~2.1%).
+    pub fn default_latency() -> Self {
+        LatencyHistogram::new(5e-7, 1e3, 1024)
+    }
+
+    /// Records one observation (seconds). Never allocates.
+    pub fn record(&mut self, x: f64) {
+        let idx = if x < self.lo {
+            0
+        } else {
+            (((x / self.lo).ln() * self.inv_ln_ratio) as usize).min(self.counts.len() - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// Merging is exact and order-independent on the counts; the running
+    /// `sum` commutes pairwise (two-operand float addition is commutative),
+    /// so `a.merge(b)` and `b.merge(a)` produce bit-identical quantiles,
+    /// counts, and extrema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms were built with different ranges or
+    /// bucket counts.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.ratio.to_bits() == other.ratio.to_bits()
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different bucket layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations recorded (directly or via merge).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact mean of all observations (the sum is tracked exactly, not
+    /// reconstructed from buckets), or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`) by nearest rank over the bucket
+    /// counts; `None` when empty.
+    ///
+    /// Returns the geometric midpoint of the bucket holding the rank,
+    /// clamped to the observed `[min, max]`, so the result is within one
+    /// bucket width of the exact order statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge_lo = self.lo * self.ratio.powi(i as i32);
+                // Geometric midpoint of the bucket, exact for the overflow
+                // bucket (whose only tenant bound is the observed max).
+                let mid = if i + 1 == self.counts.len() {
+                    self.max
+                } else {
+                    edge_lo * self.ratio.sqrt()
+                };
+                return Some(mid.clamp(self.min, self.max));
+            }
+        }
+        unreachable!("rank <= total observations");
+    }
+
+    /// Convenience: the 50th percentile.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// The relative bucket width: a quantile is within a factor of `ratio`
+    /// of the exact order statistic.
+    pub fn resolution(&self) -> f64 {
+        self.ratio
+    }
+}
+
 /// A log-spaced histogram for printing distribution shapes.
 ///
 /// Buckets are `[lo * ratio^i, lo * ratio^(i+1))`; values below `lo` land in

@@ -1,0 +1,131 @@
+//! Property tests for the mergeable log-bucket latency histogram: merge
+//! commutativity, count conservation, and quantile accuracy against an
+//! exact sort. These are the guarantees the live serving runtime's
+//! cross-thread telemetry aggregation depends on.
+
+use proptest::prelude::*;
+
+use hercules_common::stats::LatencyHistogram;
+
+/// Latency-shaped samples: microseconds to seconds.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1e-6f64..10.0, 1..max_len)
+}
+
+fn filled(xs: &[f64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default_latency();
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `a.merge(b)` and `b.merge(a)` are bit-identical: same counts, same
+    /// quantiles, same mean and extrema.
+    #[test]
+    fn merge_commutes(a in samples(200), b in samples(200)) {
+        let mut ab = filled(&a);
+        ab.merge(&filled(&b));
+        let mut ba = filled(&b);
+        ba.merge(&filled(&a));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.mean().to_bits(), ba.mean().to_bits());
+        prop_assert_eq!(ab.min().unwrap().to_bits(), ba.min().unwrap().to_bits());
+        prop_assert_eq!(ab.max().unwrap().to_bits(), ba.max().unwrap().to_bits());
+        for p in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(
+                ab.quantile(p).unwrap().to_bits(),
+                ba.quantile(p).unwrap().to_bits(),
+                "quantile {} differs across merge orders", p
+            );
+        }
+    }
+
+    /// A merged histogram equals one that saw every observation directly,
+    /// and counts are conserved across arbitrary splits.
+    #[test]
+    fn merge_conserves_counts(a in samples(150), b in samples(150), c in samples(150)) {
+        let whole: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let direct = filled(&whole);
+        let mut merged = filled(&a);
+        merged.merge(&filled(&b));
+        merged.merge(&filled(&c));
+        prop_assert_eq!(merged.count(), (a.len() + b.len() + c.len()) as u64);
+        prop_assert_eq!(merged.count(), direct.count());
+        for p in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(
+                merged.quantile(p).unwrap().to_bits(),
+                direct.quantile(p).unwrap().to_bits(),
+                "merged quantiles must match the single-population histogram"
+            );
+        }
+    }
+
+    /// Every quantile lands within one bucket (a factor of the histogram's
+    /// resolution) of the exact nearest-rank order statistic.
+    #[test]
+    fn quantile_within_one_bucket_of_exact(xs in samples(400), p in 0.0f64..1.0) {
+        let h = filled(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.quantile(p).unwrap();
+        // Within one bucket: the bucketed value can sit anywhere in the
+        // exact value's bucket or one of its neighbours.
+        let tol = h.resolution() * h.resolution();
+        prop_assert!(
+            got <= exact * tol + 1e-12 && got >= exact / tol - 1e-12,
+            "quantile({}) = {} strays from exact {} (resolution {})",
+            p, got, exact, h.resolution()
+        );
+    }
+
+    /// Quantiles are monotone in p and clamped to the observed extremes.
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in samples(300)) {
+        let h = filled(&xs);
+        let mut last = 0.0f64;
+        for p in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let q = h.quantile(p).unwrap();
+            prop_assert!(q >= last, "quantiles must be monotone in p");
+            prop_assert!(q >= h.min().unwrap() && q <= h.max().unwrap());
+            last = q;
+        }
+    }
+}
+
+#[test]
+fn mean_is_exact_not_bucketed() {
+    let xs = [0.0012, 0.0034, 0.0101, 0.250];
+    let mut h = LatencyHistogram::default_latency();
+    for &x in &xs {
+        h.record(x);
+    }
+    let exact = xs.iter().sum::<f64>() / xs.len() as f64;
+    assert_eq!(h.mean().to_bits(), exact.to_bits());
+}
+
+#[test]
+fn out_of_range_observations_clamp() {
+    let mut h = LatencyHistogram::new(1e-3, 1.0, 16);
+    h.record(1e-9); // below range: bucket 0
+    h.record(50.0); // above range: overflow bucket
+    assert_eq!(h.count(), 2);
+    // The below-range observation lands in bucket 0; the above-range one in
+    // the overflow bucket, whose representative is the observed max.
+    assert!(h.quantile(0.0).unwrap() <= 1e-3 * h.resolution());
+    assert_eq!(h.quantile(1.0).unwrap(), 50.0);
+    assert_eq!(h.min(), Some(1e-9));
+}
+
+#[test]
+#[should_panic(expected = "different bucket layouts")]
+fn merging_mismatched_layouts_panics() {
+    let mut a = LatencyHistogram::new(1e-6, 1.0, 64);
+    let b = LatencyHistogram::new(1e-6, 1.0, 128);
+    a.merge(&b);
+}

@@ -239,8 +239,9 @@ pub struct ColocationOptions {
     pub max_tenants_per_server: u32,
     /// Tolerated tail-latency inflation at the profiled operating point: a
     /// tenant may join a `k`-tenant server only while
-    /// `colocation_derate(k) <= headroom`. Below 1.0 the SLA is infeasible
-    /// even dedicated.
+    /// `colocation_derate(k, 1.0) <= headroom` (the packer plans against
+    /// worst-case memory intensity). Below 1.0 the SLA is infeasible even
+    /// dedicated.
     pub sla_headroom: f64,
     /// Per-workload overrides of `sla_headroom`, index-aligned with the
     /// request's workload list (missing indices use the global value).
@@ -375,7 +376,11 @@ impl ColocationScheduler {
                 if k_new > self.opts.max_tenants_per_server {
                     continue;
                 }
-                let derate = colocation_derate(k_new);
+                // Plan against the worst case (co-runners saturating the
+                // memory channels): the packer cannot know the realized
+                // intensity ahead of time, and an optimistic bound would
+                // let a newcomer break an incumbent's SLA under load.
+                let derate = colocation_derate(k_new, 1.0);
                 // Every tenant on the server must tolerate the higher
                 // interference level — else the newcomer would break an
                 // incumbent's SLA.

@@ -83,6 +83,14 @@ pub const TENANT_INTERFERENCE_PER_TENANT: f64 = 0.07;
 /// models costs queueing, not additional per-batch slowdown.
 pub const TENANT_DERATE_CEILING: f64 = 1.5;
 
+/// Fraction of the per-tenant interference penalty charged even when the
+/// co-runners are memory-idle: co-located models still evict each other's
+/// LLC lines between batches. The remaining `1 - floor` of the penalty
+/// scales with the co-runners' aggregate channel-bandwidth intensity —
+/// interference is load-dependent, not a head count
+/// (see `cost::colocation_derate`).
+pub const TENANT_INTENSITY_FLOOR: f64 = 0.45;
+
 /// CPU idle power as a fraction of TDP.
 pub const CPU_IDLE_FRACTION: f64 = 0.30;
 

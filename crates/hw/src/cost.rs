@@ -76,6 +76,19 @@ pub struct BatchCost {
     pub per_op: Vec<OpTiming>,
 }
 
+/// A per-batch service-cost oracle: anything that can price a batch of
+/// `items` through one pipeline stage.
+///
+/// The discrete-event simulator and the live serving runtime both draw
+/// their service times from implementors of this trait (the simulator's
+/// memoized `StageService` is the canonical one), so an execution layer can
+/// stay generic over where costs come from — analytical roofline model,
+/// recorded profile, or a synthetic test oracle.
+pub trait ServiceOracle: Send + Sync {
+    /// Cost of one batch of `items` through the stage this oracle prices.
+    fn service_cost(&self, items: u32) -> BatchCost;
+}
+
 /// Latency of one operator on one CPU operator worker.
 ///
 /// Roofline: `overhead + max(compute, memory)` where compute runs on a
@@ -299,19 +312,33 @@ pub fn gpu_batch_cost(
 
 /// Service-time derating factor for `tenants` co-located *models* sharing
 /// one server (multi-tenant interference: LLC and memory-bandwidth
-/// contention across disjoint embedding working sets).
+/// contention across disjoint embedding working sets), scaled by how hard
+/// the co-runners are actually driving the memory subsystem.
 ///
-/// Exactly `1.0` for a dedicated server (`tenants <= 1`), so a
-/// single-tenant co-location run reproduces the dedicated simulation path
-/// bit-for-bit; grows linearly per extra tenant and saturates at
-/// [`calib::TENANT_DERATE_CEILING`].
-pub fn colocation_derate(tenants: u32) -> f64 {
+/// `corunner_intensity` is the co-located tenants' aggregate DRAM-channel
+/// traffic (their `channel_bytes` per second, summed over every tenant
+/// *except* the one being derated) as a fraction of the server's peak
+/// channel bandwidth, clamped to `[0, 1]`. Idle co-runners only pollute the
+/// LLC ([`calib::TENANT_INTENSITY_FLOOR`] of the full per-tenant penalty);
+/// bandwidth-saturating co-runners pay the full
+/// [`calib::TENANT_INTERFERENCE_PER_TENANT`] per extra tenant.
+///
+/// Exactly `1.0` for a dedicated server (`tenants <= 1`) at **any**
+/// intensity, so a single-tenant co-location run reproduces the dedicated
+/// simulation path bit-for-bit; otherwise grows linearly per extra tenant
+/// and saturates at [`calib::TENANT_DERATE_CEILING`].
+pub fn colocation_derate(tenants: u32, corunner_intensity: f64) -> f64 {
     if tenants <= 1 {
-        1.0
-    } else {
-        (1.0 + calib::TENANT_INTERFERENCE_PER_TENANT * (tenants - 1) as f64)
-            .min(calib::TENANT_DERATE_CEILING)
+        return 1.0;
     }
+    let i = if corunner_intensity.is_finite() {
+        corunner_intensity.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let per_tenant = calib::TENANT_INTERFERENCE_PER_TENANT
+        * (calib::TENANT_INTENSITY_FLOOR + (1.0 - calib::TENANT_INTENSITY_FLOOR) * i);
+    (1.0 + per_tenant * (tenants - 1) as f64).min(calib::TENANT_DERATE_CEILING)
 }
 
 /// Host-to-device transfer time for `bytes` over PCIe with `contenders`
@@ -526,22 +553,48 @@ mod tests {
 
     #[test]
     fn colocation_derate_is_identity_for_one_tenant() {
-        // Bitwise 1.0 — the single-tenant regression proof depends on it.
-        assert_eq!(colocation_derate(0).to_bits(), 1.0f64.to_bits());
-        assert_eq!(colocation_derate(1).to_bits(), 1.0f64.to_bits());
+        // Bitwise 1.0 at *every* intensity — the single-tenant regression
+        // proof depends on it.
+        for i in [0.0, 0.3, 1.0, f64::NAN, f64::INFINITY, -2.0] {
+            assert_eq!(colocation_derate(0, i).to_bits(), 1.0f64.to_bits());
+            assert_eq!(colocation_derate(1, i).to_bits(), 1.0f64.to_bits());
+        }
     }
 
     #[test]
     fn colocation_derate_monotone_and_capped() {
+        for intensity in [0.0, 0.5, 1.0] {
+            let mut last = 1.0;
+            for n in 1..=32 {
+                let d = colocation_derate(n, intensity);
+                assert!(d >= last, "derate must be non-decreasing in tenants");
+                assert!(d <= crate::calib::TENANT_DERATE_CEILING);
+                last = d;
+            }
+            assert!(colocation_derate(2, intensity) > 1.0);
+        }
+        assert_eq!(
+            colocation_derate(32, 1.0),
+            crate::calib::TENANT_DERATE_CEILING
+        );
+    }
+
+    #[test]
+    fn colocation_derate_scales_with_corunner_intensity() {
+        // Busier co-runners hurt more; intensity is clamped to [0, 1] and
+        // non-finite inputs degrade to the worst case.
         let mut last = 1.0;
-        for n in 1..=32 {
-            let d = colocation_derate(n);
-            assert!(d >= last, "derate must be non-decreasing");
-            assert!(d <= crate::calib::TENANT_DERATE_CEILING);
+        for i in 0..=10 {
+            let d = colocation_derate(3, i as f64 / 10.0);
+            assert!(d >= last, "derate must be non-decreasing in intensity");
             last = d;
         }
-        assert!(colocation_derate(2) > 1.0);
-        assert_eq!(colocation_derate(32), crate::calib::TENANT_DERATE_CEILING);
+        assert!(colocation_derate(3, 1.0) > colocation_derate(3, 0.0));
+        assert_eq!(colocation_derate(3, 2.0), colocation_derate(3, 1.0));
+        assert_eq!(colocation_derate(3, -1.0), colocation_derate(3, 0.0));
+        assert_eq!(colocation_derate(3, f64::NAN), colocation_derate(3, 1.0));
+        // Idle co-runners still pay the LLC-pollution floor.
+        assert!(colocation_derate(2, 0.0) > 1.0);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! SLA-aware admission control: estimate the ingress queue's drain time
+//! and shed queries that could not meet the latency budget anyway.
+//!
+//! Shedding at dispatch is strictly better than timing out after service:
+//! a query that would blow its SLA still consumes worker time the queries
+//! behind it need (the goodput collapse past saturation in the simulator's
+//! overload runs). The controller uses a deliberately simple queue-delay
+//! model — queued sub-queries times the per-sub service estimate, divided
+//! by the pool's parallelism — because it must be evaluable in nanoseconds
+//! on the dispatch path of both clock modes.
+
+use crate::config::AdmissionPolicy;
+
+/// Decides, per arriving query, whether to admit or shed.
+#[derive(Debug)]
+pub struct AdmissionController {
+    budget_s: Option<f64>,
+    per_sub_s: f64,
+    parallelism: f64,
+    admitted: u64,
+    shed: u64,
+}
+
+impl AdmissionController {
+    /// Creates a controller for an ingress pool with `parallelism` workers
+    /// whose typical sub-query costs `per_sub_s` seconds of service.
+    pub fn new(policy: &AdmissionPolicy, per_sub_s: f64, parallelism: u32) -> Self {
+        AdmissionController {
+            budget_s: policy.budget.map(|b| b.as_secs_f64()),
+            per_sub_s,
+            parallelism: parallelism.max(1) as f64,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Estimated delay (seconds) before a sub-query entering a queue of
+    /// `queued_subs` reaches a worker.
+    pub fn estimated_delay_s(&self, queued_subs: usize) -> f64 {
+        queued_subs as f64 * self.per_sub_s / self.parallelism
+    }
+
+    /// Admits or sheds a query given the current ingress backlog.
+    pub fn admit(&mut self, queued_subs: usize) -> bool {
+        let ok = match self.budget_s {
+            None => true,
+            Some(budget) => self.estimated_delay_s(queued_subs) <= budget,
+        };
+        if ok {
+            self.admitted += 1;
+        } else {
+            self.shed += 1;
+        }
+        ok
+    }
+
+    /// Reclassifies the most recent [`AdmissionController::admit`] as shed
+    /// by ingress-queue backpressure (the bounded queue was full when the
+    /// dispatcher tried to enqueue the already-admitted query's subs).
+    /// Saturates when called without a matching prior admit.
+    pub fn shed_backpressure(&mut self) {
+        self.admitted = self.admitted.saturating_sub(1);
+        self.shed += 1;
+    }
+
+    /// Queries admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Queries shed so far (budget or backpressure).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_common::units::SimDuration;
+
+    #[test]
+    fn no_budget_admits_everything() {
+        let mut c = AdmissionController::new(&AdmissionPolicy::default(), 1.0, 1);
+        for backlog in [0, 10, 1_000_000] {
+            assert!(c.admit(backlog));
+        }
+        assert_eq!(c.admitted(), 3);
+        assert_eq!(c.shed(), 0);
+    }
+
+    #[test]
+    fn sheds_when_backlog_blows_budget() {
+        let policy = AdmissionPolicy {
+            budget: Some(SimDuration::from_millis(10)),
+        };
+        // 1 ms per sub over 2 workers: 10 ms budget tolerates 20 queued.
+        let mut c = AdmissionController::new(&policy, 1e-3, 2);
+        assert!(c.admit(20));
+        assert!(!c.admit(21));
+        assert_eq!(c.admitted(), 1);
+        assert_eq!(c.shed(), 1);
+    }
+
+    #[test]
+    fn backpressure_reclassifies_an_admit() {
+        let mut c = AdmissionController::new(&AdmissionPolicy::default(), 1e-3, 1);
+        assert!(c.admit(0));
+        c.shed_backpressure();
+        assert_eq!(c.admitted(), 0);
+        assert_eq!(c.shed(), 1);
+    }
+}

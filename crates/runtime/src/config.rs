@@ -1,0 +1,194 @@
+//! Runtime controls: clock mode, dynamic-batching policy, SLA-aware
+//! admission, and queue bounds.
+
+use hercules_common::units::SimDuration;
+use hercules_sim::{SimConfig, SlaSpec};
+
+/// How the runtime advances time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockMode {
+    /// Deterministic virtual clock: the runtime's queues, batcher, and
+    /// admission controller are driven by a time-ordered event loop.
+    /// Bitwise-reproducible across runs; what searches and tests use.
+    Virtual,
+    /// Calibrated busy-wait wall clock: worker pools are real OS threads
+    /// that spin for each batch's modeled service time, so real queue
+    /// contention, batching jitter, and wake-up latencies show up in the
+    /// measurements.
+    Wall {
+        /// Wall seconds per simulated second. `1.0` runs in real time;
+        /// larger values stretch the run (useful to watch), smaller values
+        /// compress it (useful for benches — service times shrink
+        /// proportionally, queueing ratios are preserved).
+        time_scale: f64,
+    },
+}
+
+impl ClockMode {
+    /// Real-time wall clock.
+    pub fn wall() -> Self {
+        ClockMode::Wall { time_scale: 1.0 }
+    }
+
+    /// Whether this is the deterministic virtual clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, ClockMode::Virtual)
+    }
+}
+
+/// Dynamic-batching policy for the accelerator fusion stage.
+///
+/// The simulator launches a fused batch greedily whenever a GPU context is
+/// free; a real serving runtime instead *waits* briefly for the batch to
+/// fill, trading a bounded queueing delay for better accelerator
+/// utilization (the DeepRecSys batching-queue insight). `max_delay` bounds
+/// that wait: a partial batch launches once its oldest sub-query has waited
+/// this long. Plans without query fusion ignore the policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPolicy {
+    /// Maximum time the head of a partial fused batch may wait for the
+    /// batch to fill. [`SimDuration::ZERO`] launches greedily (simulator
+    /// behaviour).
+    pub max_delay: SimDuration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_delay: SimDuration::from_micros(500),
+        }
+    }
+}
+
+/// SLA-aware admission control: shed queries at dispatch when the
+/// estimated queue delay would blow the latency budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdmissionPolicy {
+    /// Queue-delay budget. A query is shed when the ingress queue's
+    /// estimated drain time exceeds it; `None` admits everything (queries
+    /// can still be shed by ingress-queue backpressure).
+    pub budget: Option<SimDuration>,
+}
+
+impl AdmissionPolicy {
+    /// A budget of `headroom * sla.target`: with `headroom` below 1 the
+    /// controller sheds before the tail SLA is at risk, keeping admitted
+    /// queries fast at the cost of availability under overload.
+    pub fn for_sla(sla: &SlaSpec, headroom: f64) -> Self {
+        AdmissionPolicy {
+            budget: Some(sla.target.mul_f64(headroom.max(0.0))),
+        }
+    }
+}
+
+/// Everything a runtime run needs beyond the model/server/plan triple.
+///
+/// The horizon/warm-up/seed fields mirror [`SimConfig`] exactly (and
+/// [`RuntimeConfig::from_sim`] converts), so a runtime run and a simulator
+/// run of the same scenario measure the same query population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Served horizon in virtual time.
+    pub duration: SimDuration,
+    /// Leading fraction excluded from metrics (warm-up).
+    pub warmup_fraction: f64,
+    /// Trailing span excluded from metrics (arrivals that could not drain).
+    pub drain_margin: SimDuration,
+    /// RNG seed for the query stream.
+    pub seed: u64,
+    /// Virtual (deterministic) or wall (real threads) execution.
+    pub clock: ClockMode,
+    /// Bounded depth of the ingress dispatch queue, in sub-queries.
+    /// Arrivals that would overflow it are shed (backpressure).
+    pub queue_depth: usize,
+    /// Dynamic-batching policy for accelerator fusion.
+    pub batch: BatchPolicy,
+    /// SLA-aware admission control.
+    pub admission: AdmissionPolicy,
+}
+
+impl RuntimeConfig {
+    /// Adopts a simulator configuration's horizon, warm-up, drain margin,
+    /// and seed; defaults to the virtual clock, a deep ingress queue, the
+    /// default batch policy, and no admission budget.
+    pub fn from_sim(sim: &SimConfig) -> Self {
+        RuntimeConfig {
+            duration: sim.duration,
+            warmup_fraction: sim.warmup_fraction,
+            drain_margin: sim.drain_margin,
+            seed: sim.seed,
+            clock: ClockMode::Virtual,
+            queue_depth: 65_536,
+            batch: BatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// Builder: sets the clock mode.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Builder: sets the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Builder: sets the dynamic-batching policy.
+    pub fn with_batch(mut self, batch: BatchPolicy) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Builder: sets the ingress queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::from_sim(&SimConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sim_mirrors_measurement_window() {
+        let sim = SimConfig::quick(9);
+        let rt = RuntimeConfig::from_sim(&sim);
+        assert_eq!(rt.duration, sim.duration);
+        assert_eq!(rt.warmup_fraction, sim.warmup_fraction);
+        assert_eq!(rt.seed, sim.seed);
+        assert!(rt.clock.is_virtual());
+        assert_eq!(rt.admission.budget, None);
+    }
+
+    #[test]
+    fn admission_budget_scales_with_headroom() {
+        let sla = SlaSpec::p99(SimDuration::from_millis(20));
+        let a = AdmissionPolicy::for_sla(&sla, 0.5);
+        assert_eq!(a.budget, Some(SimDuration::from_millis(10)));
+        let clamped = AdmissionPolicy::for_sla(&sla, -1.0);
+        assert_eq!(clamped.budget, Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = RuntimeConfig::default()
+            .with_clock(ClockMode::wall())
+            .with_queue_depth(0)
+            .with_batch(BatchPolicy {
+                max_delay: SimDuration::from_millis(1),
+            });
+        assert!(!cfg.clock.is_virtual());
+        assert_eq!(cfg.queue_depth, 1, "depth clamps to at least one");
+        assert_eq!(cfg.batch.max_delay, SimDuration::from_millis(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! Run report: merges per-worker telemetry into the simulator's
+//! [`SimReport`] shape plus runtime-specific figures (shed count,
+//! per-stage summaries, wall-clock cost).
+
+use hercules_common::stats::LatencyHistogram;
+use hercules_common::units::{Joules, Qps, SimDuration};
+use hercules_hw::server::ServerSpec;
+use hercules_sim::{summarize_load, Buckets, LatencyBreakdown, LoadSummary, SimReport};
+
+use crate::config::{ClockMode, RuntimeConfig};
+use crate::telemetry::{StageKind, WorkerTelemetry};
+
+/// Merged view of one worker pool.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// Which pool.
+    pub stage: StageKind,
+    /// Workers in the pool.
+    pub workers: u32,
+    /// Batches served across the pool.
+    pub batches: u64,
+    /// Items served across the pool.
+    pub items: u64,
+    /// Total modeled service time spent across the pool.
+    pub busy: SimDuration,
+    /// Median queue wait ahead of this pool.
+    pub queue_wait_p50: SimDuration,
+    /// Tail queue wait ahead of this pool.
+    pub queue_wait_p99: SimDuration,
+    /// Median per-batch service time.
+    pub service_p50: SimDuration,
+    /// Tail per-batch service time.
+    pub service_p99: SimDuration,
+}
+
+/// Everything a runtime run measures.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// The run in the simulator's report shape: SLA checks, searches, and
+    /// provisioning consume this field unchanged.
+    pub sim: SimReport,
+    /// Queries admitted by the controller (and not reclassified by
+    /// backpressure).
+    pub admitted: u64,
+    /// Queries shed at dispatch (admission budget or ingress
+    /// backpressure). Shed queries count in `sim.total_arrivals` and
+    /// `sim.measured_arrivals` but never complete.
+    pub shed: u64,
+    /// Per-pool summaries (front / back / GPU), in pipeline order.
+    pub stages: Vec<StageSummary>,
+    /// The clock mode that produced this report.
+    pub clock: ClockMode,
+    /// Wall-clock seconds the run took (wall mode only).
+    pub wall_elapsed_s: Option<f64>,
+}
+
+impl RuntimeReport {
+    /// The conservation law every run must satisfy: every generated
+    /// arrival is either fully served, shed at dispatch, or still in
+    /// flight when the run ends.
+    pub fn conserves(&self) -> bool {
+        self.sim.total_arrivals
+            == self.sim.completed_total + self.shed + self.sim.in_flight_at_horizon
+    }
+
+    /// Fraction of arrivals shed.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.sim.total_arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.sim.total_arrivals as f64
+        }
+    }
+}
+
+/// Whole-run counters the executors hand to [`assemble`] alongside the
+/// per-worker telemetry.
+#[derive(Debug)]
+pub(crate) struct RunTotals {
+    pub offered: Qps,
+    pub total_arrivals: u64,
+    pub measured_arrivals: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub in_flight: u64,
+    pub wall_elapsed_s: Option<f64>,
+}
+
+/// Folds per-worker telemetry into the final report. Workers are merged
+/// in pool-then-index order, so the fold is deterministic whenever the
+/// per-worker contents are (virtual mode's bitwise reproducibility
+/// depends on this).
+pub(crate) fn assemble(
+    server: &ServerSpec,
+    cfg: &RuntimeConfig,
+    workers: Vec<WorkerTelemetry>,
+    totals: RunTotals,
+) -> RuntimeReport {
+    let duration_s = cfg.duration.as_secs_f64();
+    let warmup_start = cfg.duration.mul_f64(cfg.warmup_fraction.clamp(0.0, 0.9));
+    let margin = cfg.drain_margin.min(cfg.duration.mul_f64(0.4));
+    let measure_end = cfg.duration.saturating_sub(margin).max(warmup_start);
+    let window_s = (measure_end.saturating_sub(warmup_start))
+        .as_secs_f64()
+        .max(1e-9);
+
+    // Merge: histograms and buckets fold exactly; scalars sum.
+    let mut e2e = LatencyHistogram::default_latency();
+    let mut buckets = Buckets::new(cfg.duration);
+    let mut completed = 0u64;
+    let mut completed_total = 0u64;
+    let mut sum_queuing = 0.0;
+    let mut sum_loading = 0.0;
+    let mut sum_inference = 0.0;
+    let mut idle_weighted = 0.0;
+    let mut busy_weight = 0.0;
+    let mut total_nmp_j = 0.0;
+    for w in &workers {
+        e2e.merge(&w.e2e);
+        buckets.merge(&w.buckets);
+        completed += w.completed;
+        completed_total += w.completed_total;
+        sum_queuing += w.sum_queuing;
+        sum_loading += w.sum_loading;
+        sum_inference += w.sum_inference;
+        idle_weighted += w.idle_weighted;
+        busy_weight += w.busy_weight;
+        total_nmp_j += w.nmp_j;
+    }
+
+    let stages = summarize_stages(&workers);
+
+    let LoadSummary {
+        cpu_activity,
+        mem_activity,
+        gpu_activity,
+        pcie_activity,
+        mean_power,
+        peak_power,
+    } = summarize_load(&buckets, server, duration_s, total_nmp_j);
+
+    let to_dur = |s: Option<f64>| SimDuration::from_secs_f64(s.unwrap_or(0.0));
+    let per = |sum: f64| {
+        if completed == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(sum / completed as f64)
+        }
+    };
+    let achieved = Qps(completed as f64 / window_s);
+    let energy_per_query = if completed == 0 {
+        Joules::ZERO
+    } else {
+        Joules(mean_power.value() * window_s / completed as f64)
+    };
+    let front_idle_fraction = if busy_weight > 0.0 {
+        idle_weighted / busy_weight
+    } else {
+        0.0
+    };
+
+    let sim = SimReport {
+        offered: totals.offered,
+        achieved,
+        measured_arrivals: totals.measured_arrivals,
+        completed,
+        total_arrivals: totals.total_arrivals,
+        completed_total,
+        in_flight_at_horizon: totals.in_flight,
+        mean_latency: SimDuration::from_secs_f64(e2e.mean()),
+        p50: to_dur(e2e.p50()),
+        p95: to_dur(e2e.p95()),
+        p99: to_dur(e2e.p99()),
+        mean_power,
+        peak_power,
+        energy_per_query,
+        cpu_activity,
+        mem_activity,
+        gpu_activity,
+        pcie_activity,
+        front_idle_fraction,
+        breakdown: LatencyBreakdown {
+            queuing: per(sum_queuing),
+            loading: per(sum_loading),
+            inference: per(sum_inference),
+        },
+    };
+
+    RuntimeReport {
+        sim,
+        admitted: totals.admitted,
+        shed: totals.shed,
+        stages,
+        clock: cfg.clock,
+        wall_elapsed_s: totals.wall_elapsed_s,
+    }
+}
+
+fn summarize_stages(workers: &[WorkerTelemetry]) -> Vec<StageSummary> {
+    let mut stages = Vec::new();
+    for kind in [StageKind::Front, StageKind::Back, StageKind::Gpu] {
+        let pool: Vec<&WorkerTelemetry> = workers.iter().filter(|w| w.stage == kind).collect();
+        if pool.is_empty() {
+            continue;
+        }
+        let mut queue_wait = LatencyHistogram::default_latency();
+        let mut service = LatencyHistogram::default_latency();
+        let mut batches = 0;
+        let mut items = 0;
+        let mut busy = SimDuration::ZERO;
+        for w in &pool {
+            queue_wait.merge(&w.queue_wait);
+            service.merge(&w.service);
+            batches += w.batches;
+            items += w.items;
+            busy += w.busy;
+        }
+        let q =
+            |h: &LatencyHistogram, p: f64| SimDuration::from_secs_f64(h.quantile(p).unwrap_or(0.0));
+        stages.push(StageSummary {
+            stage: kind,
+            workers: pool.len() as u32,
+            batches,
+            items,
+            busy,
+            queue_wait_p50: q(&queue_wait, 0.50),
+            queue_wait_p99: q(&queue_wait, 0.99),
+            service_p50: q(&service, 0.50),
+            service_p99: q(&service, 0.99),
+        });
+    }
+    stages
+}

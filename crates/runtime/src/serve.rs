@@ -1,0 +1,116 @@
+//! The serving runtime: builds a topology once, then serves query streams
+//! under either clock.
+
+use hercules_common::units::{Qps, SimTime};
+use hercules_hw::nmp::NmpLutCache;
+use hercules_hw::server::ServerSpec;
+use hercules_model::zoo::RecModel;
+use hercules_sim::{build_topology, PlacementPlan, PlanError, Topology};
+use hercules_workload::generator::QueryStream;
+use hercules_workload::query::Query;
+
+use crate::config::{ClockMode, RuntimeConfig};
+use crate::report::RuntimeReport;
+use crate::{virt, wall};
+
+/// A built serving runtime: one (model, server, plan) triple ready to
+/// serve arbitrary offered loads under either clock mode.
+///
+/// Building is separated from serving so searches can reuse the topology
+/// (and its memoized batch-cost oracle) across many probed rates, exactly
+/// like `sim::search` does.
+pub struct ServingRuntime {
+    topo: Topology,
+    server: ServerSpec,
+    cfg: RuntimeConfig,
+}
+
+impl ServingRuntime {
+    /// Builds the runtime for `plan` on `server` serving `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlanError`] when the plan is infeasible on this
+    /// server/model pair (same validation as the simulator).
+    pub fn build(
+        model: &RecModel,
+        server: ServerSpec,
+        plan: &PlacementPlan,
+        cfg: RuntimeConfig,
+        luts: &NmpLutCache,
+    ) -> Result<Self, PlanError> {
+        let topo = build_topology(model, &server, plan, luts)?;
+        Ok(ServingRuntime { topo, server, cfg })
+    }
+
+    /// Wraps a pre-built topology.
+    pub fn from_topology(topo: Topology, server: ServerSpec, cfg: RuntimeConfig) -> Self {
+        ServingRuntime { topo, server, cfg }
+    }
+
+    /// The execution topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The server this runtime models.
+    pub fn server(&self) -> &ServerSpec {
+        &self.server
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Serves the paper-shaped query stream at `offered` load under the
+    /// configured clock and returns the merged report.
+    pub fn serve(&self, offered: Qps) -> RuntimeReport {
+        self.serve_with(offered, &self.cfg)
+    }
+
+    /// [`ServingRuntime::serve`] with an overriding configuration (rate
+    /// searches shorten the horizon per probe without rebuilding).
+    pub fn serve_with(&self, offered: Qps, cfg: &RuntimeConfig) -> RuntimeReport {
+        match cfg.clock {
+            ClockMode::Virtual => virt::run(&self.topo, &self.server, cfg, offered),
+            ClockMode::Wall { .. } => wall::run(&self.topo, &self.server, cfg, offered),
+        }
+    }
+}
+
+/// The run's measurement window, derived from the configuration exactly
+/// the way `sim::engine` derives it (so the two backends measure the same
+/// query population).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunWindow {
+    pub horizon: SimTime,
+    pub warmup_start: SimTime,
+    pub measure_end: SimTime,
+}
+
+impl RunWindow {
+    pub fn of(cfg: &RuntimeConfig) -> Self {
+        let horizon = SimTime::ZERO + cfg.duration;
+        let warmup_start =
+            SimTime::ZERO + cfg.duration.mul_f64(cfg.warmup_fraction.clamp(0.0, 0.9));
+        let margin = cfg.drain_margin.min(cfg.duration.mul_f64(0.4));
+        let measure_end = SimTime::ZERO + cfg.duration.saturating_sub(margin);
+        RunWindow {
+            horizon,
+            warmup_start,
+            measure_end: measure_end.max(warmup_start),
+        }
+    }
+
+    /// Whether a query arriving at `t` is measured.
+    pub fn measures(&self, t: SimTime) -> bool {
+        t >= self.warmup_start && t < self.measure_end
+    }
+}
+
+/// Generates the run's arrivals: the same deterministic stream the
+/// simulator consumes.
+pub(crate) fn arrivals(cfg: &RuntimeConfig, offered: Qps, window: &RunWindow) -> Vec<Query> {
+    QueryStream::paper(offered, cfg.seed).take_until(window.horizon)
+}

@@ -1,0 +1,254 @@
+//! Shared execution plumbing used by both clock modes: the sub-query unit
+//! of work, lock-free per-query completion state, and the stage view the
+//! executors drive (service-time oracles + pool sizes extracted from a
+//! built [`Topology`]).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use hercules_common::units::{SimDuration, SimTime};
+use hercules_hw::cost::ServiceOracle;
+use hercules_hw::device::GpuSpec;
+use hercules_hw::server::ServerSpec;
+use hercules_sim::{BackStage, Topology};
+use hercules_workload::query::Query;
+
+/// A sub-query flowing through the runtime's dispatch queues.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Sub {
+    /// Index of the parent query in the run's arrival list.
+    pub query: u32,
+    /// Items in this sub-query.
+    pub items: u32,
+    /// Sibling count (including this one), for per-query attribution.
+    pub n_subs: u32,
+    /// When the sub became eligible for its current stage.
+    pub ready: SimTime,
+}
+
+/// Per-query completion state shared across workers.
+///
+/// Workers attribute phase times with relaxed atomic adds and decrement
+/// `remaining` with acquire-release ordering, so the worker that retires
+/// the last sub-query observes every sibling's contribution before it
+/// reads the totals — the lock-free analogue of the simulator's `QueryRec`.
+#[derive(Debug)]
+pub(crate) struct QuerySlot {
+    pub arrival: SimTime,
+    remaining: AtomicU32,
+    queuing_ns: AtomicU64,
+    loading_ns: AtomicU64,
+    inference_ns: AtomicU64,
+}
+
+/// Phase-time totals of a fully-served query, read by the completing
+/// worker.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueryPhases {
+    pub queuing_s: f64,
+    pub loading_s: f64,
+    pub inference_s: f64,
+}
+
+/// The run's query population: one slot per generated arrival.
+#[derive(Debug)]
+pub(crate) struct QueryTable {
+    slots: Vec<QuerySlot>,
+}
+
+impl QueryTable {
+    pub fn new(arrivals: &[Query]) -> Self {
+        QueryTable {
+            slots: arrivals
+                .iter()
+                .map(|q| QuerySlot {
+                    arrival: q.arrival,
+                    remaining: AtomicU32::new(0),
+                    queuing_ns: AtomicU64::new(0),
+                    loading_ns: AtomicU64::new(0),
+                    inference_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    pub fn arrival(&self, query: u32) -> SimTime {
+        self.slots[query as usize].arrival
+    }
+
+    /// Marks a query admitted with `n_subs` outstanding sub-queries. Must
+    /// happen before its subs become visible to workers.
+    pub fn admit(&self, query: u32, n_subs: u32) {
+        self.slots[query as usize]
+            .remaining
+            .store(n_subs, Ordering::Release);
+    }
+
+    /// Attributes queue wait to `sub`'s parent (divided evenly across
+    /// siblings, exactly like the simulator's integer-nanosecond split).
+    pub fn add_queuing(&self, sub: &Sub, wait: SimDuration) {
+        self.add(&self.slots[sub.query as usize].queuing_ns, sub, wait);
+    }
+
+    /// Attributes host-to-device loading time to `sub`'s parent.
+    pub fn add_loading(&self, sub: &Sub, dur: SimDuration) {
+        self.add(&self.slots[sub.query as usize].loading_ns, sub, dur);
+    }
+
+    /// Attributes service (inference) time to `sub`'s parent.
+    pub fn add_inference(&self, sub: &Sub, dur: SimDuration) {
+        self.add(&self.slots[sub.query as usize].inference_ns, sub, dur);
+    }
+
+    fn add(&self, cell: &AtomicU64, sub: &Sub, dur: SimDuration) {
+        let share = dur.as_nanos() / sub.n_subs.max(1) as u64;
+        cell.fetch_add(share, Ordering::Relaxed);
+    }
+
+    /// Retires one sub-query at `now`; when it was the last outstanding
+    /// one, returns the query's end-to-end latency and phase totals.
+    pub fn complete(&self, sub: &Sub, now: SimTime) -> Option<(SimDuration, QueryPhases)> {
+        let slot = &self.slots[sub.query as usize];
+        if slot.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return None;
+        }
+        Some((
+            now.saturating_since(slot.arrival),
+            QueryPhases {
+                queuing_s: slot.queuing_ns.load(Ordering::Relaxed) as f64 / 1e9,
+                loading_s: slot.loading_ns.load(Ordering::Relaxed) as f64 / 1e9,
+                inference_s: slot.inference_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            },
+        ))
+    }
+
+    /// Queries with outstanding sub-queries (admitted but unfinished).
+    pub fn in_flight(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| s.remaining.load(Ordering::Acquire) > 0)
+            .count() as u64
+    }
+}
+
+/// The completing stage, as the executors see it.
+#[derive(Clone, Copy)]
+pub(crate) enum BackKind<'a> {
+    /// Front-stage completion finishes the query.
+    None,
+    /// A host dense pool.
+    Host {
+        oracle: &'a dyn ServiceOracle,
+        threads: u32,
+    },
+    /// Accelerator contexts behind the dynamic batcher and the serialized
+    /// PCIe link.
+    Gpu {
+        oracle: &'a dyn ServiceOracle,
+        ctxs: u32,
+        fusion_limit: Option<u32>,
+        bytes_per_item: f64,
+        gpu: &'a GpuSpec,
+    },
+}
+
+/// Executor-facing view of a built topology: per-stage service oracles and
+/// pool sizes. Both clock modes drive exactly this structure, so their
+/// semantics cannot drift.
+#[derive(Clone, Copy)]
+pub(crate) struct Stages<'a> {
+    pub front: Option<(&'a dyn ServiceOracle, u32)>,
+    pub back: BackKind<'a>,
+    pub split_batch: Option<u32>,
+}
+
+impl<'a> Stages<'a> {
+    pub fn of(topo: &'a Topology, server: &'a ServerSpec) -> Self {
+        let front = topo
+            .front
+            .as_ref()
+            .map(|f| (&f.svc as &dyn ServiceOracle, f.threads));
+        let back = match &topo.back {
+            BackStage::None => BackKind::None,
+            BackStage::HostPool { threads, svc } => BackKind::Host {
+                oracle: svc,
+                threads: *threads,
+            },
+            BackStage::Gpu {
+                colocated,
+                fusion_limit,
+                bytes_per_item,
+                svc,
+            } => BackKind::Gpu {
+                oracle: svc,
+                ctxs: *colocated,
+                fusion_limit: *fusion_limit,
+                bytes_per_item: *bytes_per_item,
+                gpu: server
+                    .gpu
+                    .as_ref()
+                    .expect("GPU topology only builds on GPU servers"),
+            },
+        };
+        Stages {
+            front,
+            back,
+            split_batch: topo.split_batch,
+        }
+    }
+
+    /// The pool the ingress queue feeds: its per-sub service estimate and
+    /// parallelism, used by the admission controller's queue-delay model.
+    pub fn ingress_estimate(&self) -> (f64, u32) {
+        // Typical sub size: the mean paper query (120 items) capped by the
+        // plan's split batch.
+        let items = self.split_batch.map_or(120, |b| b.clamp(1, 120));
+        match (&self.front, &self.back) {
+            (Some((oracle, threads)), _) => {
+                (oracle.service_cost(items).latency.as_secs_f64(), *threads)
+            }
+            (None, BackKind::Gpu { oracle, ctxs, .. }) => {
+                (oracle.service_cost(items).latency.as_secs_f64(), *ctxs)
+            }
+            (None, _) => (0.0, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_common::units::Qps;
+    use hercules_workload::generator::QueryStream;
+
+    #[test]
+    fn query_table_attributes_and_completes() {
+        let mut stream = QueryStream::paper(Qps(1000.0), 3);
+        let queries = stream.take_until(SimTime::from_millis(50));
+        let table = QueryTable::new(&queries);
+        let sub = |q: u32, n: u32| Sub {
+            query: q,
+            items: 64,
+            n_subs: n,
+            ready: SimTime::ZERO,
+        };
+        table.admit(0, 2);
+        assert_eq!(table.in_flight(), 1);
+        let a = sub(0, 2);
+        table.add_queuing(&a, SimDuration::from_micros(100));
+        table.add_inference(&a, SimDuration::from_millis(4));
+        assert!(table.complete(&a, SimTime::from_millis(10)).is_none());
+        let b = sub(0, 2);
+        table.add_inference(&b, SimDuration::from_millis(4));
+        let (lat, phases) = table
+            .complete(&b, SimTime::from_millis(12))
+            .expect("last sub completes the query");
+        assert_eq!(
+            lat,
+            SimTime::from_millis(12).saturating_since(table.arrival(0))
+        );
+        // Each contribution was divided by the sibling count.
+        assert!((phases.inference_s - 4e-3).abs() < 1e-9);
+        assert!((phases.queuing_s - 50e-6).abs() < 1e-9);
+        assert_eq!(table.in_flight(), 0);
+    }
+}

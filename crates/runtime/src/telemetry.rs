@@ -1,0 +1,239 @@
+//! Lock-cheap per-worker telemetry.
+//!
+//! Every worker (and every virtual-clock worker slot) owns its own
+//! [`WorkerTelemetry`]: histograms, counters, and resource-accounting
+//! buckets are updated without any cross-thread synchronization on the
+//! serving path, then merged once at the end of the run. The histograms
+//! are `hercules_common::stats::LatencyHistogram` — fixed log-scale
+//! buckets whose merge is exact in any order — and the resource buckets
+//! are the simulator's own [`Buckets`], so the merged run summarizes into
+//! power/activity figures exactly the way `sim::engine` does.
+
+use hercules_common::stats::LatencyHistogram;
+use hercules_common::units::{SimDuration, SimTime};
+use hercules_hw::cost::BatchCost;
+
+use hercules_sim::Buckets;
+
+use crate::stage::QueryPhases;
+
+/// Which pool a worker belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Host front pool (SparseNet, cold-sparse pre-pooling, or the whole
+    /// model under CPU model-based scheduling).
+    Front,
+    /// Host dense pool (S-D pipeline back stage).
+    Back,
+    /// Accelerator contexts (query fusion + PCIe loading).
+    Gpu,
+}
+
+impl StageKind {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageKind::Front => "front",
+            StageKind::Back => "back",
+            StageKind::Gpu => "gpu",
+        }
+    }
+}
+
+/// One worker's measurements over a run.
+#[derive(Debug)]
+pub struct WorkerTelemetry {
+    /// The pool this worker serves in.
+    pub stage: StageKind,
+    /// Worker index within the pool.
+    pub worker: u32,
+    /// Batches served.
+    pub batches: u64,
+    /// Items served (sub-query items summed over batches).
+    pub items: u64,
+    /// Total modeled service time spent.
+    pub busy: SimDuration,
+    /// Queue wait of each batch's head, at this worker.
+    pub queue_wait: LatencyHistogram,
+    /// Per-batch service time.
+    pub service: LatencyHistogram,
+    /// End-to-end latency of queries this worker retired (measurement
+    /// window only).
+    pub e2e: LatencyHistogram,
+    /// Queries retired within the measurement window.
+    pub completed: u64,
+    /// Queries retired over the whole run.
+    pub completed_total: u64,
+    /// Per-phase latency attributions of retired in-window queries.
+    pub sum_queuing: f64,
+    /// See [`WorkerTelemetry::sum_queuing`].
+    pub sum_loading: f64,
+    /// See [`WorkerTelemetry::sum_queuing`].
+    pub sum_inference: f64,
+    /// Idle-fraction accounting for the host front stage (Fig. 5 metric).
+    pub idle_weighted: f64,
+    /// Busy-time weight behind `idle_weighted`.
+    pub busy_weight: f64,
+    /// On-DIMM NMP energy issued by this worker (joules).
+    pub nmp_j: f64,
+    /// Bucketed resource accounting (merged into the run summary).
+    pub(crate) buckets: Buckets,
+}
+
+impl WorkerTelemetry {
+    pub(crate) fn new(stage: StageKind, worker: u32, duration: SimDuration) -> Self {
+        WorkerTelemetry {
+            stage,
+            worker,
+            batches: 0,
+            items: 0,
+            busy: SimDuration::ZERO,
+            queue_wait: LatencyHistogram::default_latency(),
+            service: LatencyHistogram::default_latency(),
+            e2e: LatencyHistogram::default_latency(),
+            completed: 0,
+            completed_total: 0,
+            sum_queuing: 0.0,
+            sum_loading: 0.0,
+            sum_inference: 0.0,
+            idle_weighted: 0.0,
+            busy_weight: 0.0,
+            nmp_j: 0.0,
+            buckets: Buckets::new(duration),
+        }
+    }
+
+    /// Records one CPU batch dispatched at `start` after waiting `wait`.
+    pub(crate) fn record_cpu(
+        &mut self,
+        start: SimTime,
+        wait: SimDuration,
+        items: u32,
+        cost: &BatchCost,
+    ) {
+        self.batches += 1;
+        self.items += items as u64;
+        self.busy += cost.latency;
+        self.queue_wait.record(wait.as_secs_f64());
+        self.service.record(cost.latency.as_secs_f64());
+        let b = self.buckets.index(start);
+        self.buckets.cpu_core_s[b] += cost.busy_core_time.as_secs_f64();
+        self.buckets.chan_bytes[b] += cost.channel_bytes;
+        self.buckets.nmp_j[b] += cost.nmp_energy.value();
+        self.nmp_j += cost.nmp_energy.value();
+        if self.stage == StageKind::Front {
+            self.idle_weighted += cost.idle_fraction * cost.busy_core_time.as_secs_f64();
+            self.busy_weight += cost.busy_core_time.as_secs_f64();
+        }
+    }
+
+    /// Records one fused GPU batch computed at `start` after its head
+    /// waited `wait` (to the start of loading).
+    pub(crate) fn record_gpu(
+        &mut self,
+        start: SimTime,
+        wait: SimDuration,
+        items: u32,
+        cost: &BatchCost,
+        ctxs: u32,
+    ) {
+        self.batches += 1;
+        self.items += items as u64;
+        self.busy += cost.latency;
+        self.queue_wait.record(wait.as_secs_f64());
+        self.service.record(cost.latency.as_secs_f64());
+        let b = self.buckets.index(start);
+        self.buckets.gpu_s[b] += cost.latency.as_secs_f64() * cost.gpu_util / ctxs.max(1) as f64;
+    }
+
+    /// Records one PCIe transfer occupying the link from `start`.
+    pub(crate) fn record_pcie(&mut self, start: SimTime, dur: SimDuration) {
+        let b = self.buckets.index(start);
+        self.buckets.pcie_s[b] += dur.as_secs_f64();
+    }
+
+    /// Records a query this worker retired.
+    pub(crate) fn record_completion(
+        &mut self,
+        latency: SimDuration,
+        phases: &QueryPhases,
+        in_window: bool,
+    ) {
+        self.completed_total += 1;
+        if in_window {
+            self.completed += 1;
+            self.e2e.record(latency.as_secs_f64());
+            self.sum_queuing += phases.queuing_s;
+            self.sum_loading += phases.loading_s;
+            self.sum_inference += phases.inference_s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_common::units::Joules;
+
+    fn cost(latency_ms: u64) -> BatchCost {
+        BatchCost {
+            latency: SimDuration::from_millis(latency_ms),
+            busy_core_time: SimDuration::from_millis(latency_ms),
+            idle_fraction: 0.25,
+            channel_bytes: 1e6,
+            nmp_energy: Joules(0.5),
+            gpu_busy: SimDuration::ZERO,
+            gpu_util: 0.0,
+            per_op: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cpu_accounting_accumulates() {
+        let mut t = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1));
+        t.record_cpu(
+            SimTime::from_millis(100),
+            SimDuration::from_micros(50),
+            128,
+            &cost(4),
+        );
+        t.record_cpu(
+            SimTime::from_millis(200),
+            SimDuration::from_micros(150),
+            64,
+            &cost(2),
+        );
+        assert_eq!(t.batches, 2);
+        assert_eq!(t.items, 192);
+        assert_eq!(t.busy, SimDuration::from_millis(6));
+        assert_eq!(t.queue_wait.count(), 2);
+        assert!((t.nmp_j - 1.0).abs() < 1e-12);
+        assert!(t.idle_weighted > 0.0, "front stage tracks idle fraction");
+        let core_s: f64 = t.buckets.cpu_core_s.iter().sum();
+        assert!((core_s - 6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_stage_skips_idle_accounting() {
+        let mut t = WorkerTelemetry::new(StageKind::Back, 0, SimDuration::from_secs(1));
+        t.record_cpu(SimTime::ZERO, SimDuration::ZERO, 32, &cost(1));
+        assert_eq!(t.idle_weighted, 0.0);
+        assert_eq!(t.busy_weight, 0.0);
+    }
+
+    #[test]
+    fn completions_respect_measurement_window() {
+        let mut t = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1));
+        let phases = QueryPhases {
+            queuing_s: 1e-3,
+            loading_s: 0.0,
+            inference_s: 4e-3,
+        };
+        t.record_completion(SimDuration::from_millis(5), &phases, true);
+        t.record_completion(SimDuration::from_millis(7), &phases, false);
+        assert_eq!(t.completed, 1);
+        assert_eq!(t.completed_total, 2);
+        assert_eq!(t.e2e.count(), 1);
+        assert!((t.sum_inference - 4e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,428 @@
+//! The deterministic virtual-clock executor.
+//!
+//! Drives the runtime's components — bounded ingress queue, per-stage
+//! worker slots, dynamic batcher, admission controller, per-worker
+//! telemetry — with a time-ordered event loop instead of OS threads.
+//! Every decision is a pure function of the configuration and the seeded
+//! query stream, so runs are bitwise-reproducible: this is the mode
+//! searches and tests use, and the one cross-validated against
+//! `sim::engine` (`tests/runtime_props.rs`).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+use hercules_common::units::{Qps, SimDuration, SimTime};
+use hercules_hw::cost::pcie_transfer_time;
+use hercules_hw::server::ServerSpec;
+use hercules_sim::{split_sizes, Topology};
+
+use crate::admission::AdmissionController;
+use crate::config::RuntimeConfig;
+use crate::report::{assemble, RunTotals, RuntimeReport};
+use crate::serve::{arrivals, RunWindow};
+use crate::stage::{BackKind, QueryTable, Stages, Sub};
+use crate::telemetry::{StageKind, WorkerTelemetry};
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(u32),
+    FrontDone {
+        worker: u32,
+        sub: Sub,
+    },
+    BackDone {
+        worker: u32,
+        sub: Sub,
+    },
+    /// Dynamic-batching flush deadline for the fusion buffer.
+    Flush,
+    LoadDone {
+        ctx: u32,
+        batch: usize,
+    },
+    GpuDone {
+        ctx: u32,
+        batch: usize,
+    },
+}
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earliest time, then insertion order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Batch {
+    subs: Vec<Sub>,
+    items: u32,
+    load_start: SimTime,
+    load_dur: SimDuration,
+    compute: SimDuration,
+}
+
+struct Exec<'a> {
+    stages: &'a Stages<'a>,
+    cfg: &'a RuntimeConfig,
+    window: RunWindow,
+    table: &'a QueryTable,
+    sizes: Vec<u32>,
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    admission: AdmissionController,
+    // Front pool.
+    front_queue: VecDeque<Sub>,
+    front_free: Vec<u32>,
+    front_telem: Vec<WorkerTelemetry>,
+    // Host back pool.
+    back_queue: VecDeque<Sub>,
+    back_free: Vec<u32>,
+    back_telem: Vec<WorkerTelemetry>,
+    // GPU stage.
+    fuse_buf: VecDeque<Sub>,
+    fuse_items: u64,
+    /// Deadline of the currently armed flush event, if any (dedupe).
+    flush_armed: Option<SimTime>,
+    gpu_free: Vec<u32>,
+    gpu_telem: Vec<WorkerTelemetry>,
+    pcie_free: SimTime,
+    batches: Vec<Batch>,
+}
+
+impl<'a> Exec<'a> {
+    fn push(&mut self, time: SimTime, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Sub-queries currently queued ahead of the ingress pool.
+    fn ingress_depth(&self) -> usize {
+        if self.stages.front.is_some() {
+            self.front_queue.len()
+        } else {
+            self.fuse_buf.len()
+        }
+    }
+
+    fn arrive(&mut self, query: u32, now: SimTime) {
+        if !self.admission.admit(self.ingress_depth()) {
+            return;
+        }
+        let sizes = split_sizes(self.sizes[query as usize], self.stages.split_batch);
+        if self.ingress_depth() + sizes.len() > self.cfg.queue_depth {
+            self.admission.shed_backpressure();
+            return;
+        }
+        let n_subs = sizes.len() as u32;
+        self.table.admit(query, n_subs);
+        let subs = sizes.into_iter().map(|items| Sub {
+            query,
+            items,
+            n_subs,
+            ready: now,
+        });
+        if self.stages.front.is_some() {
+            self.front_queue.extend(subs);
+            self.schedule_front(now);
+        } else {
+            for sub in subs {
+                self.enqueue_fused(sub);
+            }
+            self.try_launch_gpu(now);
+        }
+    }
+
+    fn schedule_front(&mut self, now: SimTime) {
+        let Some((oracle, _)) = self.stages.front else {
+            return;
+        };
+        while !self.front_free.is_empty() && !self.front_queue.is_empty() {
+            let worker = self.front_free.pop().expect("non-empty");
+            let sub = self.front_queue.pop_front().expect("non-empty");
+            let cost = oracle.service_cost(sub.items);
+            let wait = now.saturating_since(sub.ready);
+            self.table.add_queuing(&sub, wait);
+            self.table.add_inference(&sub, cost.latency);
+            self.front_telem[worker as usize].record_cpu(now, wait, sub.items, &cost);
+            self.push(now + cost.latency, Ev::FrontDone { worker, sub });
+        }
+    }
+
+    fn schedule_back(&mut self, now: SimTime) {
+        let BackKind::Host { oracle, .. } = self.stages.back else {
+            return;
+        };
+        while !self.back_free.is_empty() && !self.back_queue.is_empty() {
+            let worker = self.back_free.pop().expect("non-empty");
+            let sub = self.back_queue.pop_front().expect("non-empty");
+            let cost = oracle.service_cost(sub.items);
+            let wait = now.saturating_since(sub.ready);
+            self.table.add_queuing(&sub, wait);
+            self.table.add_inference(&sub, cost.latency);
+            self.back_telem[worker as usize].record_cpu(now, wait, sub.items, &cost);
+            self.push(now + cost.latency, Ev::BackDone { worker, sub });
+        }
+    }
+
+    /// Adds a sub to the fusion buffer.
+    fn enqueue_fused(&mut self, sub: Sub) {
+        self.fuse_items += sub.items as u64;
+        self.fuse_buf.push_back(sub);
+    }
+
+    /// Launches fused batches while a context is free and the batcher's
+    /// fill-or-flush condition holds: the buffer can fill a batch, the
+    /// head sub has waited out `max_delay`, or fusion is disabled. When it
+    /// instead decides to wait, it arms a single flush deadline for the
+    /// current head (deduplicated, so the event heap carries at most one
+    /// live flush per distinct head — not one per enqueued sub).
+    fn try_launch_gpu(&mut self, now: SimTime) {
+        let BackKind::Gpu {
+            oracle,
+            fusion_limit,
+            bytes_per_item,
+            gpu,
+            ..
+        } = self.stages.back
+        else {
+            return;
+        };
+        while !self.gpu_free.is_empty() && !self.fuse_buf.is_empty() {
+            if let Some(limit) = fusion_limit {
+                let head_ready = self.fuse_buf.front().expect("non-empty").ready;
+                let filled = self.fuse_items >= limit as u64;
+                if !filled && now.saturating_since(head_ready) < self.cfg.batch.max_delay {
+                    // Wait for the batch to fill or the deadline to pass.
+                    let deadline = head_ready + self.cfg.batch.max_delay;
+                    if self.flush_armed != Some(deadline) {
+                        self.flush_armed = Some(deadline);
+                        self.push(deadline, Ev::Flush);
+                    }
+                    break;
+                }
+            }
+            let ctx = self.gpu_free.pop().expect("non-empty");
+            let mut subs = Vec::new();
+            let mut items = 0u32;
+            match fusion_limit {
+                None => {
+                    let sub = self.fuse_buf.pop_front().expect("non-empty");
+                    items = sub.items;
+                    subs.push(sub);
+                }
+                Some(limit) => {
+                    while let Some(next) = self.fuse_buf.front() {
+                        if !subs.is_empty() && items + next.items > limit {
+                            break;
+                        }
+                        let sub = self.fuse_buf.pop_front().expect("non-empty");
+                        items += sub.items;
+                        subs.push(sub);
+                    }
+                }
+            }
+            self.fuse_items -= items as u64;
+            let bytes = bytes_per_item * items as f64;
+            let load_start = now.max(self.pcie_free);
+            let load_dur = pcie_transfer_time(bytes, gpu, 1);
+            self.pcie_free = load_start + load_dur;
+            self.gpu_telem[ctx as usize].record_pcie(load_start, load_dur);
+            let compute = oracle.service_cost(items).latency;
+            let batch = self.batches.len();
+            self.batches.push(Batch {
+                subs,
+                items,
+                load_start,
+                load_dur,
+                compute,
+            });
+            self.push(load_start + load_dur, Ev::LoadDone { ctx, batch });
+        }
+    }
+
+    fn complete(&mut self, stage: StageKind, worker: u32, sub: &Sub, now: SimTime) {
+        if let Some((lat, phases)) = self.table.complete(sub, now) {
+            let in_window = self.window.measures(self.table.arrival(sub.query));
+            let telem = match stage {
+                StageKind::Front => &mut self.front_telem[worker as usize],
+                StageKind::Back => &mut self.back_telem[worker as usize],
+                StageKind::Gpu => &mut self.gpu_telem[worker as usize],
+            };
+            telem.record_completion(lat, &phases, in_window);
+        }
+    }
+
+    fn run(&mut self) {
+        while let Some(entry) = self.heap.pop() {
+            let now = entry.time;
+            if now > self.window.horizon {
+                break;
+            }
+            match entry.ev {
+                Ev::Arrival(q) => self.arrive(q, now),
+                Ev::FrontDone { worker, sub } => {
+                    self.front_free.push(worker);
+                    let forwarded = Sub { ready: now, ..sub };
+                    match self.stages.back {
+                        BackKind::None => self.complete(StageKind::Front, worker, &sub, now),
+                        BackKind::Host { .. } => {
+                            self.back_queue.push_back(forwarded);
+                            self.schedule_back(now);
+                        }
+                        BackKind::Gpu { .. } => {
+                            self.enqueue_fused(forwarded);
+                            self.try_launch_gpu(now);
+                        }
+                    }
+                    self.schedule_front(now);
+                }
+                Ev::BackDone { worker, sub } => {
+                    self.back_free.push(worker);
+                    self.complete(StageKind::Back, worker, &sub, now);
+                    self.schedule_back(now);
+                }
+                Ev::Flush => {
+                    if self.flush_armed.is_some_and(|t| t <= now) {
+                        self.flush_armed = None;
+                    }
+                    self.try_launch_gpu(now);
+                }
+                Ev::LoadDone { ctx, batch } => {
+                    let BackKind::Gpu { ctxs, .. } = self.stages.back else {
+                        unreachable!("LoadDone only fires with a GPU stage");
+                    };
+                    let b = &self.batches[batch];
+                    let (items, compute) = (b.items, b.compute);
+                    let wait = b
+                        .load_start
+                        .saturating_since(b.subs.first().map_or(b.load_start, |s| s.ready));
+                    let cost = {
+                        let BackKind::Gpu { oracle, .. } = self.stages.back else {
+                            unreachable!()
+                        };
+                        oracle.service_cost(items)
+                    };
+                    self.gpu_telem[ctx as usize].record_gpu(now, wait, items, &cost, ctxs);
+                    self.push(now + compute, Ev::GpuDone { ctx, batch });
+                }
+                Ev::GpuDone { ctx, batch } => {
+                    self.gpu_free.push(ctx);
+                    let load_start = self.batches[batch].load_start;
+                    let load_dur = self.batches[batch].load_dur;
+                    let compute = self.batches[batch].compute;
+                    let subs = std::mem::take(&mut self.batches[batch].subs);
+                    for sub in &subs {
+                        let wait = load_start.saturating_since(sub.ready);
+                        self.table.add_queuing(sub, wait);
+                        self.table.add_loading(sub, load_dur);
+                        self.table.add_inference(sub, compute);
+                        self.complete(StageKind::Gpu, ctx, sub, now);
+                    }
+                    self.try_launch_gpu(now);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the virtual-clock executor and assembles the report.
+pub(crate) fn run(
+    topo: &Topology,
+    server: &ServerSpec,
+    cfg: &RuntimeConfig,
+    offered: Qps,
+) -> RuntimeReport {
+    let window = RunWindow::of(cfg);
+    let queries = arrivals(cfg, offered, &window);
+    let table = QueryTable::new(&queries);
+    let stages = Stages::of(topo, server);
+
+    let (per_sub_s, parallelism) = stages.ingress_estimate();
+    let admission = AdmissionController::new(&cfg.admission, per_sub_s, parallelism);
+
+    let front_threads = stages.front.map_or(0, |(_, t)| t);
+    let (back_threads, gpu_ctxs) = match stages.back {
+        BackKind::None => (0, 0),
+        BackKind::Host { threads, .. } => (threads, 0),
+        BackKind::Gpu { ctxs, .. } => (0, ctxs),
+    };
+    let telem = |stage: StageKind, n: u32| -> Vec<WorkerTelemetry> {
+        (0..n)
+            .map(|w| WorkerTelemetry::new(stage, w, cfg.duration))
+            .collect()
+    };
+
+    let mut exec = Exec {
+        stages: &stages,
+        cfg,
+        window,
+        table: &table,
+        sizes: queries.iter().map(|q| q.size).collect(),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        admission,
+        front_queue: VecDeque::new(),
+        front_free: (0..front_threads).collect(),
+        front_telem: telem(StageKind::Front, front_threads),
+        back_queue: VecDeque::new(),
+        back_free: (0..back_threads).collect(),
+        back_telem: telem(StageKind::Back, back_threads),
+        fuse_buf: VecDeque::new(),
+        fuse_items: 0,
+        flush_armed: None,
+        gpu_free: (0..gpu_ctxs).collect(),
+        gpu_telem: telem(StageKind::Gpu, gpu_ctxs),
+        pcie_free: SimTime::ZERO,
+        batches: Vec::new(),
+    };
+
+    let measured_arrivals = queries
+        .iter()
+        .filter(|q| window.measures(q.arrival))
+        .count() as u64;
+    for (i, q) in queries.iter().enumerate() {
+        exec.push(q.arrival, Ev::Arrival(i as u32));
+    }
+    exec.run();
+
+    let totals = RunTotals {
+        offered,
+        total_arrivals: queries.len() as u64,
+        measured_arrivals,
+        admitted: exec.admission.admitted(),
+        shed: exec.admission.shed(),
+        in_flight: table.in_flight(),
+        wall_elapsed_s: None,
+    };
+    let workers: Vec<WorkerTelemetry> = exec
+        .front_telem
+        .into_iter()
+        .chain(exec.back_telem)
+        .chain(exec.gpu_telem)
+        .collect();
+    assemble(server, cfg, workers, totals)
+}

@@ -1,0 +1,345 @@
+//! The wall-clock threaded executor.
+//!
+//! Worker pools are real OS threads; each batch's modeled service time is
+//! burned with a calibrated busy-wait, so the run exhibits genuine
+//! concurrency effects — mutex contention on the dispatch queues, batching
+//! jitter, PCIe-lock serialization, worker wake-up latency — that the
+//! virtual clock cannot show. Timestamps are taken from the wall and
+//! mapped back into virtual time (dividing by the configured
+//! `time_scale`), so the report is directly comparable with virtual-clock
+//! and simulator runs of the same scenario.
+//!
+//! Shutdown cascades stage by stage: the dispatcher closes the ingress
+//! queue after the last arrival, each pool drains and exits, and the main
+//! thread closes the next stage's queue once every upstream producer has
+//! joined — the run therefore drains completely and `in_flight` is zero.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hercules_common::units::{Qps, SimDuration, SimTime};
+use hercules_hw::cost::pcie_transfer_time;
+use hercules_hw::server::ServerSpec;
+use hercules_sim::{split_sizes, Topology};
+
+use crate::admission::AdmissionController;
+use crate::config::{ClockMode, RuntimeConfig};
+use crate::queue::{PopResult, SyncQueue};
+use crate::report::{assemble, RunTotals, RuntimeReport};
+use crate::serve::{arrivals, RunWindow};
+use crate::stage::{BackKind, QueryTable, Stages, Sub};
+use crate::telemetry::{StageKind, WorkerTelemetry};
+
+/// The calibrated wall clock: converts between virtual time and wall
+/// instants, and burns service time by spinning (sleeping only the coarse
+/// prefix of long waits, so the tail is cycle-accurate).
+#[derive(Debug, Clone, Copy)]
+struct WallClock {
+    start: Instant,
+    scale: f64,
+}
+
+/// Below this wall wait, spin; above it, sleep the prefix then spin.
+const SPIN_THRESHOLD: Duration = Duration::from_micros(150);
+
+impl WallClock {
+    fn start(scale: f64) -> Self {
+        WallClock {
+            start: Instant::now(),
+            scale: if scale.is_finite() && scale > 0.0 {
+                scale
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime {
+        let elapsed = self.start.elapsed().as_secs_f64() / self.scale;
+        SimTime::from_nanos((elapsed * 1e9).round() as u64)
+    }
+
+    fn wall_target(&self, t: SimTime) -> Instant {
+        self.start + Duration::from_secs_f64(t.as_secs_f64() * self.scale)
+    }
+
+    /// Busy-waits the *virtual* duration `d` (scaled to wall time).
+    fn busy_wait(&self, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let target = Instant::now() + Duration::from_secs_f64(d.as_secs_f64() * self.scale);
+        spin_until(target);
+    }
+
+    /// Waits until virtual instant `t` (the dispatcher pacing arrivals).
+    fn wait_until(&self, t: SimTime) {
+        spin_until(self.wall_target(t));
+    }
+}
+
+fn spin_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        let Some(left) = target.checked_duration_since(now) else {
+            return;
+        };
+        if left > SPIN_THRESHOLD {
+            std::thread::sleep(left - SPIN_THRESHOLD);
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// A fused batch in flight from the batcher to a GPU context.
+struct GpuBatch {
+    subs: Vec<Sub>,
+    items: u32,
+}
+
+/// Runs the threaded executor and assembles the report.
+pub(crate) fn run(
+    topo: &Topology,
+    server: &ServerSpec,
+    cfg: &RuntimeConfig,
+    offered: Qps,
+) -> RuntimeReport {
+    let ClockMode::Wall { time_scale } = cfg.clock else {
+        unreachable!("wall executor only runs in wall mode");
+    };
+    let window = RunWindow::of(cfg);
+    let queries = arrivals(cfg, offered, &window);
+    let table = QueryTable::new(&queries);
+    let stages = Stages::of(topo, server);
+
+    let (per_sub_s, parallelism) = stages.ingress_estimate();
+    let mut admission = AdmissionController::new(&cfg.admission, per_sub_s, parallelism);
+
+    let gpu_ctxs = match stages.back {
+        BackKind::Gpu { ctxs, .. } => ctxs,
+        _ => 0,
+    };
+
+    // Inter-stage queues. The ingress queue is bounded by the config;
+    // internal forwards use blocking pushes (backpressure, never loss).
+    let front_q: SyncQueue<Sub> = SyncQueue::new(cfg.queue_depth);
+    let fuse_q: SyncQueue<Sub> = SyncQueue::new(cfg.queue_depth);
+    let back_q: SyncQueue<Sub> = SyncQueue::new(cfg.queue_depth);
+    let gpu_q: SyncQueue<GpuBatch> = SyncQueue::new(gpu_ctxs.max(1) as usize * 4);
+    let pcie = Mutex::new(());
+
+    let clock = WallClock::start(time_scale);
+    let started = Instant::now();
+    let mut workers: Vec<WorkerTelemetry> = Vec::new();
+
+    std::thread::scope(|scope| {
+        // ── Worker pools ────────────────────────────────────────────────
+        let mut front_handles = Vec::new();
+        if let Some((oracle, threads)) = stages.front {
+            for w in 0..threads {
+                let (front_q, back_q, fuse_q, table, back) =
+                    (&front_q, &back_q, &fuse_q, &table, stages.back);
+                front_handles.push(scope.spawn(move || {
+                    let mut t = WorkerTelemetry::new(StageKind::Front, w, cfg.duration);
+                    while let Some(sub) = front_q.pop_wait() {
+                        let now = clock.now();
+                        let wait = now.saturating_since(sub.ready);
+                        let cost = oracle.service_cost(sub.items);
+                        table.add_queuing(&sub, wait);
+                        table.add_inference(&sub, cost.latency);
+                        t.record_cpu(now, wait, sub.items, &cost);
+                        clock.busy_wait(cost.latency);
+                        let done = clock.now();
+                        match back {
+                            BackKind::None => {
+                                if let Some((lat, phases)) = table.complete(&sub, done) {
+                                    let in_window = window.measures(table.arrival(sub.query));
+                                    t.record_completion(lat, &phases, in_window);
+                                }
+                            }
+                            BackKind::Host { .. } => {
+                                back_q.push_wait(Sub { ready: done, ..sub });
+                            }
+                            BackKind::Gpu { .. } => {
+                                fuse_q.push_wait(Sub { ready: done, ..sub });
+                            }
+                        }
+                    }
+                    t
+                }));
+            }
+        }
+
+        let mut back_handles = Vec::new();
+        if let BackKind::Host { oracle, threads } = stages.back {
+            for w in 0..threads {
+                let (back_q, table) = (&back_q, &table);
+                back_handles.push(scope.spawn(move || {
+                    let mut t = WorkerTelemetry::new(StageKind::Back, w, cfg.duration);
+                    while let Some(sub) = back_q.pop_wait() {
+                        let now = clock.now();
+                        let wait = now.saturating_since(sub.ready);
+                        let cost = oracle.service_cost(sub.items);
+                        table.add_queuing(&sub, wait);
+                        table.add_inference(&sub, cost.latency);
+                        t.record_cpu(now, wait, sub.items, &cost);
+                        clock.busy_wait(cost.latency);
+                        let done = clock.now();
+                        if let Some((lat, phases)) = table.complete(&sub, done) {
+                            let in_window = window.measures(table.arrival(sub.query));
+                            t.record_completion(lat, &phases, in_window);
+                        }
+                    }
+                    t
+                }));
+            }
+        }
+
+        let mut batcher_handle = None;
+        let mut gpu_handles = Vec::new();
+        if let BackKind::Gpu {
+            oracle,
+            ctxs,
+            fusion_limit,
+            bytes_per_item,
+            gpu,
+        } = stages.back
+        {
+            // The dynamic batcher: fill a fused batch up to the limit, or
+            // flush once its head has waited out the batch policy.
+            let (fuse_q, gpu_q, table, pcie) = (&fuse_q, &gpu_q, &table, &pcie);
+            batcher_handle = Some(scope.spawn(move || {
+                let mut pending: Option<Sub> = None;
+                while let Some(first) = pending.take().or_else(|| fuse_q.pop_wait()) {
+                    let Some(limit) = fusion_limit else {
+                        // Fusion off: one sub-query per launch.
+                        let items = first.items;
+                        gpu_q.push_wait(GpuBatch {
+                            subs: vec![first],
+                            items,
+                        });
+                        continue;
+                    };
+                    // The flush deadline is anchored to the head sub's
+                    // *ready* time (the BatchPolicy contract, matching the
+                    // virtual clock) — not to when the batcher got around
+                    // to popping it.
+                    let deadline = clock.wall_target(first.ready + cfg.batch.max_delay);
+                    let mut subs = vec![first];
+                    let mut items = subs[0].items;
+                    while items < limit {
+                        match fuse_q.pop_deadline(deadline) {
+                            PopResult::Item(next) => {
+                                if items + next.items > limit {
+                                    pending = Some(next);
+                                    break;
+                                }
+                                items += next.items;
+                                subs.push(next);
+                            }
+                            PopResult::TimedOut | PopResult::Closed => break,
+                        }
+                    }
+                    gpu_q.push_wait(GpuBatch { subs, items });
+                }
+                gpu_q.close();
+            }));
+
+            for ctx in 0..ctxs {
+                gpu_handles.push(scope.spawn(move || {
+                    let mut t = WorkerTelemetry::new(StageKind::Gpu, ctx, cfg.duration);
+                    while let Some(batch) = gpu_q.pop_wait() {
+                        let bytes = bytes_per_item * batch.items as f64;
+                        let load_dur = pcie_transfer_time(bytes, gpu, 1);
+                        // The PCIe link is serialized across contexts.
+                        let load_start = {
+                            let _link = pcie.lock().expect("pcie lock poisoned");
+                            let load_start = clock.now();
+                            t.record_pcie(load_start, load_dur);
+                            clock.busy_wait(load_dur);
+                            load_start
+                        };
+                        let cost = oracle.service_cost(batch.items);
+                        let head_wait = load_start
+                            .saturating_since(batch.subs.first().map_or(load_start, |s| s.ready));
+                        let compute_start = clock.now();
+                        t.record_gpu(compute_start, head_wait, batch.items, &cost, ctxs);
+                        clock.busy_wait(cost.latency);
+                        let done = clock.now();
+                        for sub in &batch.subs {
+                            let wait = load_start.saturating_since(sub.ready);
+                            table.add_queuing(sub, wait);
+                            table.add_loading(sub, load_dur);
+                            table.add_inference(sub, cost.latency);
+                            if let Some((lat, phases)) = table.complete(sub, done) {
+                                let in_window = window.measures(table.arrival(sub.query));
+                                t.record_completion(lat, &phases, in_window);
+                            }
+                        }
+                    }
+                    t
+                }));
+            }
+        }
+
+        // ── Dispatcher (this thread): pace arrivals, admit, split ───────
+        let ingress: &SyncQueue<Sub> = if stages.front.is_some() {
+            &front_q
+        } else {
+            &fuse_q
+        };
+        for (i, q) in queries.iter().enumerate() {
+            clock.wait_until(q.arrival);
+            if !admission.admit(ingress.len()) {
+                continue;
+            }
+            let sizes = split_sizes(q.size, stages.split_batch);
+            let n_subs = sizes.len() as u32;
+            table.admit(i as u32, n_subs);
+            let subs = sizes.into_iter().map(|items| Sub {
+                query: i as u32,
+                items,
+                n_subs,
+                ready: q.arrival,
+            });
+            if !ingress.try_push_all(subs) {
+                table.admit(i as u32, 0);
+                admission.shed_backpressure();
+            }
+        }
+
+        // ── Shutdown cascade: close each stage once its producers exit ──
+        front_q.close();
+        for h in front_handles {
+            workers.push(h.join().expect("front worker panicked"));
+        }
+        back_q.close();
+        fuse_q.close();
+        for h in back_handles {
+            workers.push(h.join().expect("back worker panicked"));
+        }
+        if let Some(h) = batcher_handle {
+            h.join().expect("batcher panicked");
+        }
+        for h in gpu_handles {
+            workers.push(h.join().expect("gpu worker panicked"));
+        }
+    });
+
+    let measured_arrivals = queries
+        .iter()
+        .filter(|q| window.measures(q.arrival))
+        .count() as u64;
+    let totals = RunTotals {
+        offered,
+        total_arrivals: queries.len() as u64,
+        measured_arrivals,
+        admitted: admission.admitted(),
+        shed: admission.shed(),
+        in_flight: table.in_flight(),
+        wall_elapsed_s: Some(started.elapsed().as_secs_f64()),
+    };
+    assemble(server, cfg, workers, totals)
+}

@@ -8,7 +8,12 @@
 //! queues feed the shared front/back/GPU pools through share-weighted
 //! deficit round-robin, and every tenant's service time is derated by
 //! [`hercules_hw::cost::colocation_derate`] to model LLC and
-//! memory-bandwidth interference between co-located models.
+//! memory-bandwidth interference between co-located models. The derate is
+//! **load-dependent**: each dispatch measures the co-runners' aggregate
+//! DRAM-channel intensity (their cumulative `channel_bytes` over elapsed
+//! simulated time, as a fraction of peak channel bandwidth), so an idle
+//! co-tenant costs only the LLC-pollution floor while a bandwidth-saturating
+//! one charges the full per-tenant penalty.
 //!
 //! **Dedicated-path equivalence.** A single-tenant config is bit-identical
 //! to [`crate::engine::simulate`]: the derating factor is exactly `1.0`,
@@ -46,6 +51,11 @@ struct CoBatch {
     items: u32,
     load_start: SimTime,
     load_dur: SimDuration,
+    /// Derated GPU compute time, fixed at launch: the load-dependent
+    /// interference factor evolves between `LoadDone` and `GpuDone`, so the
+    /// completion handler must attribute the duration that was actually
+    /// scheduled, not recompute it.
+    compute: SimDuration,
 }
 
 #[derive(Debug)]
@@ -168,8 +178,14 @@ impl TenantStats {
 struct CoEngine<'a> {
     topos: &'a [Topology],
     server: &'a ServerSpec,
-    /// Multi-tenant service-time derating factor (1.0 for one tenant).
-    derate: f64,
+    /// Number of co-located tenants (1 disables derating entirely).
+    n_tenants: u32,
+    /// Peak DRAM channel bandwidth in bytes/s, the normalizer for the
+    /// co-runner memory-intensity estimate.
+    peak_chan_bw: f64,
+    /// Cumulative host DRAM channel bytes issued per tenant, the basis of
+    /// the load-dependent interference estimate.
+    chan_bytes_cum: Vec<f64>,
     horizon: SimTime,
     warmup_start: SimTime,
     measure_end: SimTime,
@@ -211,11 +227,30 @@ impl<'a> CoEngine<'a> {
         });
     }
 
+    /// The load-dependent interference factor for a batch of `tenant`
+    /// dispatched at `now`: co-runner intensity is the *other* tenants'
+    /// cumulative channel traffic averaged over elapsed simulated time, as
+    /// a fraction of peak channel bandwidth. Exactly 1.0 for one tenant.
+    fn derate_for(&self, tenant: usize, now: SimTime) -> f64 {
+        if self.n_tenants <= 1 {
+            return 1.0;
+        }
+        let others: f64 = self
+            .chan_bytes_cum
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != tenant)
+            .map(|(_, b)| b)
+            .sum();
+        let intensity = others / now.as_secs_f64().max(1e-9) / self.peak_chan_bw;
+        colocation_derate(self.n_tenants, intensity)
+    }
+
     /// Service duration under multi-tenant interference. Guarded so the
     /// single-tenant path never round-trips through floats.
-    fn derated(&self, d: SimDuration) -> SimDuration {
-        if self.derate > 1.0 {
-            d.mul_f64(self.derate)
+    fn derated(d: SimDuration, factor: f64) -> SimDuration {
+        if factor > 1.0 {
+            d.mul_f64(factor)
         } else {
             d
         }
@@ -247,13 +282,14 @@ impl<'a> CoEngine<'a> {
             let sub = self.front_queues[t].pop_front().expect("backlogged");
             let front = self.topos[t].front.as_ref().expect("uniform tenant shape");
             let cost = front.svc.cost(sub.items);
-            let svc_latency = self.derated(cost.latency);
+            let factor = self.derate_for(t, now);
+            let svc_latency = Self::derated(cost.latency, factor);
             let wait = now.saturating_since(sub.ready);
             let rec = &mut self.queries[t][sub.query as usize];
             let nsubs = rec.n_subs.max(1) as u64;
             rec.queuing += wait / nsubs;
             rec.inference += svc_latency / nsubs;
-            let busy_s = cost.busy_core_time.as_secs_f64() * self.derate;
+            let busy_s = cost.busy_core_time.as_secs_f64() * factor;
             let b = self.buckets.index(now);
             self.buckets.cpu_core_s[b] += busy_s;
             self.buckets.chan_bytes[b] += cost.channel_bytes;
@@ -261,6 +297,7 @@ impl<'a> CoEngine<'a> {
             self.total_nmp_j += cost.nmp_energy.value();
             self.front_idle_weighted += cost.idle_fraction * busy_s;
             self.front_busy_weight += busy_s;
+            self.chan_bytes_cum[t] += cost.channel_bytes;
             self.push(now + svc_latency, Ev::FrontDone { thread, sub });
         }
     }
@@ -280,14 +317,16 @@ impl<'a> CoEngine<'a> {
                 unreachable!("uniform tenant shapes");
             };
             let cost = svc.cost(sub.items);
-            let svc_latency = self.derated(cost.latency);
+            let factor = self.derate_for(t, now);
+            let svc_latency = Self::derated(cost.latency, factor);
             let wait = now.saturating_since(sub.ready);
             let nsubs = self.queries[t][sub.query as usize].n_subs.max(1) as u64;
             self.queries[t][sub.query as usize].queuing += wait / nsubs;
             self.queries[t][sub.query as usize].inference += svc_latency / nsubs;
             let b = self.buckets.index(now);
-            self.buckets.cpu_core_s[b] += cost.busy_core_time.as_secs_f64() * self.derate;
+            self.buckets.cpu_core_s[b] += cost.busy_core_time.as_secs_f64() * factor;
             self.buckets.chan_bytes[b] += cost.channel_bytes;
+            self.chan_bytes_cum[t] += cost.channel_bytes;
             self.push(now + svc_latency, Ev::BackDone { thread, sub });
         }
     }
@@ -351,6 +390,7 @@ impl<'a> CoEngine<'a> {
                 items,
                 load_start,
                 load_dur,
+                compute: SimDuration::ZERO,
             });
             self.push(
                 load_start + load_dur,
@@ -430,20 +470,18 @@ impl<'a> CoEngine<'a> {
                         unreachable!("LoadDone only fires with a GPU stage");
                     };
                     let cost = svc.cost(items);
-                    let svc_latency = self.derated(cost.latency);
+                    let factor = self.derate_for(t, now);
+                    let svc_latency = Self::derated(cost.latency, factor);
                     let b = self.buckets.index(now);
                     self.buckets.gpu_s[b] +=
                         svc_latency.as_secs_f64() * cost.gpu_util / *colocated as f64;
+                    self.batches[batch].compute = svc_latency;
                     self.push(now + svc_latency, Ev::GpuDone { ctx, batch });
                 }
                 Ev::GpuDone { ctx, batch } => {
                     self.gpu_free.push(ctx);
                     let t = self.batches[batch].tenant as usize;
-                    let BackStage::Gpu { svc, .. } = &self.topos[t].back else {
-                        unreachable!("GpuDone only fires with a GPU stage");
-                    };
-                    let items = self.batches[batch].items;
-                    let compute = self.derated(svc.cost(items).latency);
+                    let compute = self.batches[batch].compute;
                     let load_start = self.batches[batch].load_start;
                     let load_dur = self.batches[batch].load_dur;
                     let subs = std::mem::take(&mut self.batches[batch].subs);
@@ -505,7 +543,6 @@ pub fn simulate_colocated(
     }
 
     let n = cfg.tenants.len();
-    let derate = colocation_derate(n as u32);
     let sim = &cfg.sim;
     let horizon = SimTime::ZERO + sim.duration;
     let warmup_start = SimTime::ZERO + sim.duration.mul_f64(sim.warmup_fraction.clamp(0.0, 0.9));
@@ -553,7 +590,9 @@ pub fn simulate_colocated(
     let mut engine = CoEngine {
         topos: &topos,
         server,
-        derate,
+        n_tenants: n as u32,
+        peak_chan_bw: server.mem.peak_bw_gbs * 1e9,
+        chan_bytes_cum: vec![0.0; n],
         horizon,
         warmup_start,
         measure_end,

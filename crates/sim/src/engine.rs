@@ -24,7 +24,8 @@ use crate::config::{PlacementPlan, PlanError, SimConfig};
 use crate::metrics::{LatencyBreakdown, SimReport};
 use crate::service::{build_topology, BackStage, Topology};
 
-pub(crate) const POWER_BUCKETS: usize = 32;
+/// Number of coarse accounting buckets used for peak-power estimation.
+pub const POWER_BUCKETS: usize = 32;
 
 #[derive(Debug, Clone, Copy)]
 struct SubQuery {
@@ -81,7 +82,10 @@ impl<E> Ord for HeapEntry<E> {
 
 /// Splits a query of `size` items into sub-query sizes under the plan's
 /// data-parallel split batch (`None`: the whole query flows as one unit).
-pub(crate) fn split_sizes(size: u32, split_batch: Option<u32>) -> Vec<u32> {
+///
+/// Shared by the dedicated engine, the multi-tenant engine, and the live
+/// serving runtime, so every execution backend forms identical sub-queries.
+pub fn split_sizes(size: u32, split_batch: Option<u32>) -> Vec<u32> {
     match split_batch {
         None => vec![size],
         Some(d) => {
@@ -109,18 +113,29 @@ pub(crate) struct QueryRec {
     pub(crate) inference: SimDuration,
 }
 
-#[derive(Debug)]
-pub(crate) struct Buckets {
-    pub(crate) width_s: f64,
-    pub(crate) cpu_core_s: Vec<f64>,
-    pub(crate) chan_bytes: Vec<f64>,
-    pub(crate) gpu_s: Vec<f64>,
-    pub(crate) pcie_s: Vec<f64>,
-    pub(crate) nmp_j: Vec<f64>,
+/// Coarse time-bucketed resource accounting: busy core-seconds, channel
+/// bytes, GPU-seconds, PCIe-seconds, and NMP energy per bucket. Feeds
+/// [`summarize_load`]; shared by the simulation engines and the live
+/// serving runtime so every backend derives power and activity identically.
+#[derive(Debug, Clone)]
+pub struct Buckets {
+    /// Bucket width in seconds (`duration / POWER_BUCKETS`).
+    pub width_s: f64,
+    /// Busy CPU core-seconds per bucket.
+    pub cpu_core_s: Vec<f64>,
+    /// DRAM channel bytes per bucket.
+    pub chan_bytes: Vec<f64>,
+    /// GPU busy-seconds (utilization-weighted) per bucket.
+    pub gpu_s: Vec<f64>,
+    /// PCIe link busy-seconds per bucket.
+    pub pcie_s: Vec<f64>,
+    /// On-DIMM NMP energy (joules) per bucket.
+    pub nmp_j: Vec<f64>,
 }
 
 impl Buckets {
-    pub(crate) fn new(duration: SimDuration) -> Self {
+    /// Creates zeroed buckets spanning `duration`.
+    pub fn new(duration: SimDuration) -> Self {
         Buckets {
             width_s: duration.as_secs_f64() / POWER_BUCKETS as f64,
             cpu_core_s: vec![0.0; POWER_BUCKETS],
@@ -131,25 +146,56 @@ impl Buckets {
         }
     }
 
-    pub(crate) fn index(&self, t: SimTime) -> usize {
+    /// The bucket holding instant `t` (clamped to the last bucket).
+    pub fn index(&self, t: SimTime) -> usize {
         ((t.as_secs_f64() / self.width_s) as usize).min(POWER_BUCKETS - 1)
+    }
+
+    /// Accumulates another accounting (same width) into this one, so
+    /// per-worker buckets can be folded after a multi-threaded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ.
+    pub fn merge(&mut self, other: &Buckets) {
+        assert!(
+            self.width_s.to_bits() == other.width_s.to_bits(),
+            "cannot merge buckets of different widths"
+        );
+        let zip = |a: &mut Vec<f64>, b: &[f64]| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        zip(&mut self.cpu_core_s, &other.cpu_core_s);
+        zip(&mut self.chan_bytes, &other.chan_bytes);
+        zip(&mut self.gpu_s, &other.gpu_s);
+        zip(&mut self.pcie_s, &other.pcie_s);
+        zip(&mut self.nmp_j, &other.nmp_j);
     }
 }
 
 /// Server-level activity and power derived from the bucketed accounting —
-/// shared by the dedicated and multi-tenant report assembly so the two
-/// paths can never drift (the single-tenant bitwise-equivalence property
-/// depends on it).
-pub(crate) struct LoadSummary {
-    pub(crate) cpu_activity: f64,
-    pub(crate) mem_activity: f64,
-    pub(crate) gpu_activity: f64,
-    pub(crate) pcie_activity: f64,
-    pub(crate) mean_power: Watts,
-    pub(crate) peak_power: Watts,
+/// shared by the dedicated engine, the multi-tenant engine, and the live
+/// serving runtime so the report-assembly paths can never drift (the
+/// single-tenant bitwise-equivalence property depends on it).
+pub struct LoadSummary {
+    /// Mean fraction of CPU cores busy.
+    pub cpu_activity: f64,
+    /// Mean DRAM channel-bandwidth utilization.
+    pub mem_activity: f64,
+    /// Mean GPU utilization.
+    pub gpu_activity: f64,
+    /// Mean PCIe link utilization.
+    pub pcie_activity: f64,
+    /// Time-average server power.
+    pub mean_power: Watts,
+    /// Peak bucketed power.
+    pub peak_power: Watts,
 }
 
-pub(crate) fn summarize_load(
+/// Folds bucketed resource accounting into server-level activity and power.
+pub fn summarize_load(
     buckets: &Buckets,
     server: &ServerSpec,
     duration_s: f64,

@@ -112,6 +112,16 @@ impl StageService {
     }
 }
 
+/// `StageService` is the canonical service-time oracle: the discrete-event
+/// engines call [`StageService::cost`] directly, and the live serving
+/// runtime prices its batches through this trait so other oracles
+/// (profiles, synthetic test models) can stand in.
+impl hercules_hw::cost::ServiceOracle for StageService {
+    fn service_cost(&self, items: u32) -> BatchCost {
+        self.cost(items)
+    }
+}
+
 /// The host-side front stage (SparseNet, cold-sparse pre-pooling, or the
 /// whole model under CPU model-based scheduling).
 #[derive(Debug)]

@@ -2,7 +2,9 @@
 //! task-scheduling configuration with the Hercules gradient search.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (set `HERCULES_SMOKE=1` for a tiny CI-sized fidelity)
 
+use hercules::common::units::SimDuration;
 use hercules::core::eval::{CachedEvaluator, EvalContext};
 use hercules::core::search::baselines::baseline_search;
 use hercules::core::search::gradient::GradientOptions;
@@ -28,8 +30,14 @@ fn main() {
     println!();
 
     // 2. Run the prior-art baseline (DeepRecSys) and Hercules' search.
-    let ctx = EvalContext::new(model, server, sla);
-    let mut ev = CachedEvaluator::new(ctx.quick(42));
+    let mut ctx = EvalContext::new(model, server, sla).quick(42);
+    if std::env::var_os("HERCULES_SMOKE").is_some() {
+        // CI smoke fidelity: tiny horizons, just enough to exercise the path.
+        ctx.sim.duration = SimDuration::from_millis(300);
+        ctx.search.target_queries = Some(400);
+        ctx.search.refine_iters = 2;
+    }
+    let mut ev = CachedEvaluator::new(ctx);
     let opts = GradientOptions::coarse();
 
     let baseline = baseline_search(&mut ev, &opts.batch_levels)

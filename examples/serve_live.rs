@@ -1,0 +1,124 @@
+//! Live serving: execute the quickstart placement plan on real threads.
+//!
+//! Where `quickstart` *simulates* the plan, this example *runs* it: worker
+//! pools are OS threads, service times are burned with a calibrated
+//! busy-wait, queries flow through bounded dispatch queues with SLA-aware
+//! admission control, and per-worker histograms merge into the final
+//! report. A virtual-clock run of the identical scenario prints alongside,
+//! showing the deterministic executor and the threaded one agree.
+//!
+//! Run with: `cargo run --release --example serve_live`
+//! (set `HERCULES_SMOKE=1` for a tiny CI-sized horizon)
+
+use hercules::common::units::{Qps, SimDuration};
+use hercules::hw::server::ServerType;
+use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules::runtime::{AdmissionPolicy, ClockMode, RuntimeConfig, RuntimeReport, ServingRuntime};
+use hercules::sim::{NmpLutCache, PlacementPlan, SimConfig, SlaSpec};
+
+fn print_report(tag: &str, r: &RuntimeReport) {
+    println!(
+        "{tag:<14} achieved {:>7.1} QPS  p50 {:>9}  p95 {:>9}  p99 {:>9}  shed {:>4}",
+        r.sim.achieved.value(),
+        r.sim.p50,
+        r.sim.p95,
+        r.sim.p99,
+        r.shed,
+    );
+    let (q, l, i) = r.sim.breakdown.fractions();
+    println!(
+        "{:<14} breakdown: {:.0}% queuing / {:.0}% loading / {:.0}% inference; power {:.0} W",
+        "",
+        100.0 * q,
+        100.0 * l,
+        100.0 * i,
+        r.sim.mean_power.value()
+    );
+    for s in &r.stages {
+        println!(
+            "{:<14} stage {:<6} x{:<3} {:>7} batches {:>9} items  queue-wait p50 {:>9} p99 {:>9}  service p50 {:>9} p99 {:>9}",
+            "",
+            s.stage.label(),
+            s.workers,
+            s.batches,
+            s.items,
+            s.queue_wait_p50,
+            s.queue_wait_p99,
+            s.service_p50,
+            s.service_p99,
+        );
+    }
+    if let Some(wall) = r.wall_elapsed_s {
+        println!("{:<14} wall-clock cost: {wall:.2}s", "");
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("HERCULES_SMOKE").is_some();
+
+    // The quickstart scenario: RMC1 production on a T2 under the canonical
+    // CPU plan, against its paper SLA.
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuModel {
+        threads: 10,
+        workers: 2,
+        batch: 256,
+    };
+    let sla = SlaSpec::p95(model.default_sla());
+    let offered = Qps(400.0);
+    let sim_cfg = SimConfig {
+        duration: if smoke {
+            SimDuration::from_millis(300)
+        } else {
+            SimDuration::from_millis(1500)
+        },
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed: 7,
+    };
+
+    println!(
+        "serving {} on {} under {} at {} (SLA p95 <= {})",
+        model.name(),
+        server.stype.label(),
+        plan.label(),
+        offered,
+        sla.target
+    );
+    println!();
+
+    let luts = NmpLutCache::new();
+    let base =
+        RuntimeConfig::from_sim(&sim_cfg).with_admission(AdmissionPolicy::for_sla(&sla, 1.0));
+
+    // 1. Wall clock: real worker threads, busy-wait service, live queues.
+    let wall_cfg = base.with_clock(ClockMode::wall());
+    let rt = ServingRuntime::build(&model, server.clone(), &plan, wall_cfg, &luts)
+        .expect("quickstart plan is feasible on a T2");
+    let wall = rt.serve(offered);
+    print_report("wall clock", &wall);
+    println!();
+
+    // 2. Virtual clock: the same components driven deterministically.
+    let rt = ServingRuntime::build(&model, server, &plan, base, &luts).expect("feasible");
+    let virt = rt.serve(offered);
+    print_report("virtual clock", &virt);
+    println!();
+
+    assert!(wall.conserves() && virt.conserves(), "conservation law");
+    assert!(
+        wall.sim.completed > 0 && virt.sim.completed > 0,
+        "both modes must serve queries"
+    );
+    println!(
+        "wall p99 {} vs virtual p99 {} — the runtime meets the SLA: {}",
+        wall.sim.p99,
+        virt.sim.p99,
+        if wall.sim.meets(&sla) && virt.sim.meets(&sla) {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+}

@@ -7,6 +7,7 @@ pub use hercules_common as common;
 pub use hercules_core as core;
 pub use hercules_hw as hw;
 pub use hercules_model as model;
+pub use hercules_runtime as runtime;
 pub use hercules_sim as sim;
 pub use hercules_solver as solver;
 pub use hercules_workload as workload;
