@@ -1,0 +1,246 @@
+//! Fig. G (extension) — raw gather-kernel bandwidth against the resident
+//! embedding arena, swept over concurrent gather streams and page
+//! placement.
+//!
+//! This isolates the memory kernel the wall-clock runtime's front pool
+//! executes under `--gather real`: Zipf-indexed row reads pooled into an
+//! accumulator, no queues or admission control in the way. Each row times
+//! N threads hammering one shared arena until a per-stream byte target or
+//! deadline, and the pinned rows rebuild the arena with first-touch on the
+//! gathering cores (the NUMA placement the runtime applies under
+//! `PinPolicy::Compact`). On a single-node or core-restricted host the
+//! pinned-vs-unpinned delta is expected to be ~0 — the figure *reports*
+//! the delta rather than asserting a win, which is exactly the calibration
+//! datum the cost model wants.
+//!
+//! Emits `BENCH_gather_bw.json` at the workspace root.
+
+use std::time::{Duration, Instant};
+
+use hercules_bench::{banner, f, fast_mode, write_bench_json, Json, TableWriter};
+use hercules_common::rng::SimRng;
+use hercules_common::units::MemBytes;
+use hercules_hw::calib;
+use hercules_hw::cost::modeled_gather_bw_gbs;
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{affinity, CountingAlloc, EmbeddingArena, GatherScratch, InitPlacement};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Rows gathered per `gather()` call — the runtime's typical sub-batch.
+const ITEMS_PER_CALL: u32 = 256;
+
+struct Measurement {
+    bytes: u64,
+    wall_s: f64,
+    checksum: f64,
+    /// Heap allocations across all streams' timed loops (should be 0).
+    allocs: u64,
+}
+
+/// Runs `streams` concurrent gather loops against `arena`, each until it
+/// has read `target_bytes` or `deadline` elapses. When `pin` is set,
+/// stream `i` pins to `cores[i % cores.len()]` first.
+fn measure(
+    arena: &EmbeddingArena,
+    streams: usize,
+    cores: &[usize],
+    pin: bool,
+    target_bytes: u64,
+    deadline: Duration,
+) -> Measurement {
+    let results: Vec<(u64, f64, f64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..streams)
+            .map(|i| {
+                s.spawn(move || {
+                    if pin && !cores.is_empty() {
+                        // Best-effort, like the runtime's worker pinning.
+                        let _ = affinity::pin_current_thread(cores[i % cores.len()]);
+                    }
+                    let mut rng = SimRng::seed_from(
+                        0x6A7B_1E55_D00D_F00Du64 ^ (i as u64).wrapping_mul(0x9E37_79B9),
+                    );
+                    let mut scratch = GatherScratch::with_dim(arena.max_dim());
+                    // Warm the scratch high-water mark, then count allocs
+                    // only across the timed loop.
+                    let _ = arena.gather(ITEMS_PER_CALL, &mut rng, &mut scratch);
+                    let allocs_before = hercules_runtime::thread_allocs();
+                    let start = Instant::now();
+                    let mut bytes = 0u64;
+                    let mut checksum = 0.0f64;
+                    while bytes < target_bytes && start.elapsed() < deadline {
+                        let out = arena.gather(ITEMS_PER_CALL, &mut rng, &mut scratch);
+                        bytes += out.bytes;
+                        checksum += out.checksum;
+                    }
+                    let wall = start.elapsed().as_secs_f64();
+                    let allocs = hercules_runtime::thread_allocs() - allocs_before;
+                    (bytes, wall, checksum, allocs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gather stream panicked"))
+            .collect()
+    });
+    Measurement {
+        bytes: results.iter().map(|r| r.0).sum(),
+        wall_s: results.iter().map(|r| r.1).fold(0.0, f64::max),
+        checksum: results.iter().map(|r| r.2).sum(),
+        allocs: results.iter().map(|r| r.3).sum(),
+    }
+}
+
+fn main() {
+    banner("Fig. G: real gather-kernel bandwidth vs streams and NUMA placement");
+    let fast = fast_mode();
+    let budget = MemBytes::from_mib(if fast { 96 } else { 512 });
+    let target_bytes: u64 = if fast { 48 << 20 } else { 256 << 20 };
+    let deadline = Duration::from_secs_f64(if fast { 1.0 } else { 3.0 });
+
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    let cores = affinity::online_cores();
+    let mut stream_counts = vec![1usize, cores.len(), cores.len() * 2];
+    stream_counts.sort_unstable();
+    stream_counts.dedup();
+
+    println!(
+        "arena: {} tables of {} under a {} budget; {} visible cores; \
+         per-stream target {} MB or {:.1}s",
+        model.tables.len(),
+        model.name(),
+        budget,
+        cores.len(),
+        target_bytes >> 20,
+        deadline.as_secs_f64(),
+    );
+    println!();
+
+    let w = TableWriter::new(&[
+        ("placement", 10),
+        ("streams", 7),
+        ("GB read", 8),
+        ("wall (s)", 8),
+        ("GB/s/stream", 11),
+        ("GB/s aggr", 9),
+        ("allocs", 6),
+    ]);
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut best = [0.0f64; 2]; // best aggregate per placement
+    let mut arena_meta: Option<(u64, bool)> = None;
+    for (pi, (label, pin)) in [("unpinned", false), ("pinned", true)]
+        .into_iter()
+        .enumerate()
+    {
+        // Rebuild per placement: first-touch at fill time *is* the page
+        // placement, so it cannot be toggled on a live arena.
+        let placement = if pin {
+            InitPlacement::Pinned {
+                cores: cores.clone(),
+            }
+        } else {
+            InitPlacement::Serial
+        };
+        let arena = EmbeddingArena::build(&model.tables, budget, 7, &placement);
+        arena_meta = Some((arena.resident().as_bytes(), arena.is_compacted()));
+        for &streams in &stream_counts {
+            let m = measure(&arena, streams, &cores, pin, target_bytes, deadline);
+            let aggr = m.bytes as f64 / m.wall_s.max(1e-9) / 1e9;
+            let per_stream = aggr / streams as f64;
+            best[pi] = best[pi].max(aggr);
+            w.row(&[
+                label.to_string(),
+                streams.to_string(),
+                f(m.bytes as f64 / 1e9, 2),
+                f(m.wall_s, 2),
+                f(per_stream, 2),
+                f(aggr, 2),
+                m.allocs.to_string(),
+            ]);
+            assert!(m.bytes > 0 && m.checksum.is_finite());
+            assert_eq!(m.allocs, 0, "gather loop must not touch the heap");
+            rows.push(Json::obj([
+                ("placement", Json::str(label)),
+                ("streams", Json::Int(streams as i64)),
+                ("bytes", Json::Int(m.bytes as i64)),
+                ("wall_s", Json::Num(m.wall_s)),
+                ("gbs_per_stream", Json::Num(per_stream)),
+                ("gbs_aggregate", Json::Num(aggr)),
+                ("checksum", Json::Num(m.checksum)),
+                ("allocs", Json::Int(m.allocs as i64)),
+            ]));
+        }
+    }
+
+    let (resident_bytes, compacted) = arena_meta.expect("at least one arena built");
+    let delta = if best[0] > 0.0 {
+        (best[1] - best[0]) / best[0]
+    } else {
+        0.0
+    };
+    let modeled = modeled_gather_bw_gbs(&server, cores.len() as u32, 1);
+    let implied = calib::implied_gather_efficiency(best[1].max(best[0]), server.mem.peak_bw_gbs);
+    println!();
+    println!(
+        "pinned vs unpinned best aggregate: {:.2} vs {:.2} GB/s ({:+.1}%) — \
+         ~0 expected on a single NUMA node",
+        best[1],
+        best[0],
+        100.0 * delta,
+    );
+    println!(
+        "modeled ({} streams): {modeled:.1} GB/s; implied DDR gather efficiency \
+         {implied:.2} vs calibrated {:.2}",
+        cores.len(),
+        calib::DDR_GATHER_EFFICIENCY,
+    );
+
+    let doc = Json::obj([
+        ("figure", Json::str("fig_gather_bw")),
+        (
+            "generated_by",
+            Json::str("cargo bench --bench fig_gather_bw"),
+        ),
+        (
+            "scenario",
+            Json::obj([
+                ("model", Json::str(model.name())),
+                ("scale", Json::str("production")),
+                ("server", Json::str("T2")),
+                ("budget_bytes", Json::Int(budget.as_bytes() as i64)),
+                ("resident_bytes", Json::Int(resident_bytes as i64)),
+                ("compacted", Json::Bool(compacted)),
+                ("visible_cores", Json::Int(cores.len() as i64)),
+                ("fast_mode", Json::Bool(fast)),
+            ]),
+        ),
+        ("rows", Json::Arr(rows)),
+        (
+            "numa",
+            Json::obj([
+                ("unpinned_best_gbs", Json::Num(best[0])),
+                ("pinned_best_gbs", Json::Num(best[1])),
+                ("pinned_delta_frac", Json::Num(delta)),
+            ]),
+        ),
+        (
+            "model_calibration",
+            Json::obj([
+                ("modeled_gbs", Json::Num(modeled)),
+                ("peak_bw_gbs", Json::Num(server.mem.peak_bw_gbs)),
+                ("implied_gather_efficiency", Json::Num(implied)),
+                (
+                    "calibrated_gather_efficiency",
+                    Json::Num(calib::DDR_GATHER_EFFICIENCY),
+                ),
+            ]),
+        ),
+    ]);
+    let path = write_bench_json("BENCH_gather_bw.json", &doc);
+    println!("wrote {}", path.display());
+}

@@ -1,24 +1,58 @@
 //! Fig. R (extension) — simulator ↔ runtime cross-validation: the
-//! discrete-event engine, the virtual-clock runtime, and the wall-clock
-//! runtime (real threads, busy-wait service) serve the quickstart scenario
-//! at increasing load, side by side.
+//! discrete-event engine, the virtual-clock runtime, the wall-clock
+//! runtime (real threads, busy-wait service), and the wall-clock runtime
+//! with *real memory-bound gathers* serve the quickstart scenario at
+//! increasing load, side by side.
 //!
 //! Headline: the executable serving path reproduces the simulator's
 //! latency model — p50/p99 agree within the telemetry histogram's bucket
-//! resolution on the virtual clock, and the threaded run adds only the
-//! real concurrency effects (queue contention, wake-up jitter) the DES
-//! cannot show. This is the first end-to-end validation of the latency
-//! model against code that actually runs on cores.
+//! resolution on the virtual clock, and the threaded runs add only the
+//! real concurrency effects (queue contention, wake-up jitter, actual DRAM
+//! bandwidth) the DES cannot show. The real-gather rows run at the full
+//! wall rate (`time_scale: 1.0`) with this binary's allocator replaced by
+//! the counting allocator, so the figure also reports measured gather
+//! bandwidth and proves the steady-state hot path is allocation-free.
+//!
+//! Emits `BENCH_runtime.json` at the workspace root — the machine-readable
+//! trajectory record for this figure (see ROADMAP).
 
-use hercules_bench::{banner, f, TableWriter};
+use hercules_bench::{banner, f, fast_mode, write_bench_json, Json, TableWriter};
 use hercules_common::units::{Qps, SimDuration};
+use hercules_hw::calib;
+use hercules_hw::cost::modeled_gather_bw_gbs;
 use hercules_hw::server::ServerType;
 use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
-use hercules_runtime::{ClockMode, RuntimeConfig, ServingRuntime};
+use hercules_runtime::{
+    ClockMode, CountingAlloc, GatherMode, PinPolicy, RuntimeConfig, RuntimeReport, ServingRuntime,
+};
 use hercules_sim::{simulate_cached, NmpLutCache, PlacementPlan, SimConfig};
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Rates where the real-gather backend runs: the wall-real rows execute at
+/// `time_scale: 1.0` (no compression — gathers consume genuine wall time),
+/// so the saturated 550 QPS point is skipped to bound the figure's cost.
+const WALL_REAL_MAX_QPS: f64 = 400.0;
+
+fn row_json(rate: f64, backend: &str, r: &RuntimeReport) -> Vec<(&'static str, Json)> {
+    vec![
+        ("offered_qps", Json::Num(rate)),
+        ("backend", Json::str(backend)),
+        ("achieved_qps", Json::Num(r.sim.achieved.value())),
+        ("p50_ms", Json::Num(r.sim.p50.as_millis_f64())),
+        ("p99_ms", Json::Num(r.sim.p99.as_millis_f64())),
+        ("queuing_frac", Json::Num(r.sim.breakdown.fractions().0)),
+        ("shed", Json::Int(r.shed as i64)),
+        (
+            "wall_cost_s",
+            r.wall_elapsed_s.map_or(Json::Null, Json::Num),
+        ),
+    ]
+}
+
 fn main() {
-    banner("Fig. R: sim vs runtime (virtual) vs runtime (wall), quickstart scenario");
+    banner("Fig. R: sim vs runtime (virtual / wall / wall+real gathers), quickstart scenario");
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
     let server = ServerType::T2.spec();
     let plan = PlacementPlan::CpuModel {
@@ -33,19 +67,28 @@ fn main() {
         seed: 7,
     };
     let luts = NmpLutCache::new();
-    // Compress wall time 4x so the whole figure stays under ~2s of spin.
+    let budget_mib = if fast_mode() { 64 } else { 256 };
+    // Compress the busy-wait wall run 4x so the whole figure stays under a
+    // few seconds of spin; the real-gather run cannot be compressed (its
+    // service time is measured off actual DRAM reads, not synthesized).
     let wall_cfg = RuntimeConfig::from_sim(&cfg).with_clock(ClockMode::Wall { time_scale: 0.25 });
+    let real_cfg = RuntimeConfig::from_sim(&cfg)
+        .with_clock(ClockMode::wall())
+        .with_gather(GatherMode::real_mib(budget_mib))
+        .with_affinity(PinPolicy::Compact);
     let virt_cfg = RuntimeConfig::from_sim(&cfg);
 
     let w = TableWriter::new(&[
         ("offered", 8),
-        ("backend", 14),
+        ("backend", 18),
         ("achieved", 9),
         ("p50 (ms)", 9),
         ("p99 (ms)", 9),
         ("queuing %", 9),
         ("wall cost (s)", 13),
     ]);
+    let mut rows: Vec<Json> = Vec::new();
+    let mut real_at_max: Option<RuntimeReport> = None;
     for rate in [150.0, 400.0, 550.0] {
         let sim =
             simulate_cached(&model, &server, &plan, Qps(rate), &cfg, &luts).expect("feasible plan");
@@ -55,6 +98,11 @@ fn main() {
         let wallr = ServingRuntime::build(&model, server.clone(), &plan, wall_cfg, &luts)
             .expect("feasible")
             .serve(Qps(rate));
+        let real = (rate <= WALL_REAL_MAX_QPS).then(|| {
+            ServingRuntime::build(&model, server.clone(), &plan, real_cfg, &luts)
+                .expect("feasible")
+                .serve(Qps(rate))
+        });
 
         let row = |backend: &str,
                    achieved: f64,
@@ -80,6 +128,14 @@ fn main() {
             sim.breakdown.fractions().0,
             None,
         );
+        rows.push(Json::obj([
+            ("offered_qps", Json::Num(rate)),
+            ("backend", Json::str("sim")),
+            ("achieved_qps", Json::Num(sim.achieved.value())),
+            ("p50_ms", Json::Num(sim.p50.as_millis_f64())),
+            ("p99_ms", Json::Num(sim.p99.as_millis_f64())),
+            ("queuing_frac", Json::Num(sim.breakdown.fractions().0)),
+        ]));
         row(
             "runtime/virt",
             virt.sim.achieved.value(),
@@ -88,6 +144,7 @@ fn main() {
             virt.sim.breakdown.fractions().0,
             None,
         );
+        rows.push(Json::obj(row_json(rate, "runtime/virt", &virt)));
         row(
             "runtime/wall",
             wallr.sim.achieved.value(),
@@ -96,6 +153,46 @@ fn main() {
             wallr.sim.breakdown.fractions().0,
             wallr.wall_elapsed_s,
         );
+        rows.push(Json::obj(row_json(rate, "runtime/wall", &wallr)));
+        if let Some(real) = real {
+            row(
+                "runtime/wall-real",
+                real.sim.achieved.value(),
+                real.sim.p50,
+                real.sim.p99,
+                real.sim.breakdown.fractions().0,
+                real.wall_elapsed_s,
+            );
+            let g = real.gather.expect("real mode reports gather stats");
+            let mut fields = row_json(rate, "runtime/wall-real", &real);
+            fields.extend([
+                (
+                    "gather",
+                    Json::obj([
+                        ("bytes", Json::Int(g.bytes as i64)),
+                        ("rows", Json::Int(g.rows as i64)),
+                        ("gbs_per_stream", Json::Num(g.achieved_gbs())),
+                        ("checksum", Json::Num(g.checksum)),
+                        ("resident_bytes", Json::Int(g.resident_bytes as i64)),
+                        ("compacted", Json::Bool(g.compacted)),
+                    ]),
+                ),
+                ("hot_allocs", Json::Int(real.hot_allocs as i64)),
+                ("hot_samples", Json::Int(real.hot_samples as i64)),
+                ("allocs_per_batch", Json::Num(real.allocs_per_sample())),
+            ]);
+            rows.push(Json::obj(fields));
+            assert!(g.bytes > 0, "real rows must read memory");
+            assert!(
+                real.hot_samples > 0 && real.hot_allocs == 0,
+                "steady-state hot path allocated {} times across {} sampled batches",
+                real.hot_allocs,
+                real.hot_samples,
+            );
+            if rate == WALL_REAL_MAX_QPS {
+                real_at_max = Some(real);
+            }
+        }
 
         // The acceptance bound the test suite pins: virtual runtime within
         // ±10% of the DES on the measured tail.
@@ -107,6 +204,102 @@ fn main() {
             "virtual runtime strayed from the simulator at {rate} QPS"
         );
     }
+
+    // NUMA placement A/B at the top real-gather rate: identical scenario,
+    // pinned (compact cores + first-touch arena) vs unpinned. On a host
+    // with one visible NUMA node the delta is ~0; the figure reports it
+    // either way — that *is* the acceptance datum.
+    let pinned = real_at_max.expect("wall-real ran at the max rate");
+    let unpinned = ServingRuntime::build(
+        &model,
+        server.clone(),
+        &plan,
+        real_cfg.with_affinity(PinPolicy::None),
+        &luts,
+    )
+    .expect("feasible")
+    .serve(Qps(WALL_REAL_MAX_QPS));
+    let (pg, ug) = (
+        pinned.gather.expect("pinned gather stats"),
+        unpinned.gather.expect("unpinned gather stats"),
+    );
+    let bw_delta = if ug.achieved_gbs() > 0.0 {
+        (pg.achieved_gbs() - ug.achieved_gbs()) / ug.achieved_gbs()
+    } else {
+        0.0
+    };
+    let modeled = modeled_gather_bw_gbs(&server, 10, 2);
     println!();
+    println!(
+        "NUMA A/B at {WALL_REAL_MAX_QPS:.0} QPS: pinned {:.2} GB/s/stream p99 {} vs \
+         unpinned {:.2} GB/s/stream p99 {} ({:+.1}% bandwidth)",
+        pg.achieved_gbs(),
+        pinned.sim.p99,
+        ug.achieved_gbs(),
+        unpinned.sim.p99,
+        100.0 * bw_delta,
+    );
+    println!(
+        "measured vs modeled gather bandwidth: {:.2} GB/s/stream vs {modeled:.1} GB/s \
+         aggregate model; zero hot-path allocations across {} sampled batches",
+        pg.achieved_gbs(),
+        pinned.hot_samples,
+    );
     println!("virtual-clock p50/p99 pinned within ±10% of sim at every load");
+
+    let doc = Json::obj([
+        ("figure", Json::str("fig_runtime_xval")),
+        (
+            "generated_by",
+            Json::str("cargo bench --bench fig_runtime_xval"),
+        ),
+        (
+            "scenario",
+            Json::obj([
+                ("model", Json::str(model.name())),
+                ("scale", Json::str("production")),
+                ("server", Json::str("T2")),
+                ("plan", Json::str(plan.label())),
+                ("duration_ms", Json::Int(1500)),
+                ("seed", Json::Int(7)),
+                ("gather_budget_mib", Json::Int(budget_mib as i64)),
+                ("fast_mode", Json::Bool(fast_mode())),
+            ]),
+        ),
+        ("rows", Json::Arr(rows)),
+        (
+            "numa",
+            Json::obj([
+                ("offered_qps", Json::Num(WALL_REAL_MAX_QPS)),
+                ("pinned_gbs_per_stream", Json::Num(pg.achieved_gbs())),
+                ("unpinned_gbs_per_stream", Json::Num(ug.achieved_gbs())),
+                ("bw_delta_frac", Json::Num(bw_delta)),
+                ("pinned_p99_ms", Json::Num(pinned.sim.p99.as_millis_f64())),
+                (
+                    "unpinned_p99_ms",
+                    Json::Num(unpinned.sim.p99.as_millis_f64()),
+                ),
+            ]),
+        ),
+        (
+            "model_calibration",
+            Json::obj([
+                ("modeled_aggregate_gbs", Json::Num(modeled)),
+                ("peak_bw_gbs", Json::Num(server.mem.peak_bw_gbs)),
+                (
+                    "implied_gather_efficiency",
+                    Json::Num(calib::implied_gather_efficiency(
+                        pg.achieved_gbs() * 10.0,
+                        server.mem.peak_bw_gbs,
+                    )),
+                ),
+                (
+                    "calibrated_gather_efficiency",
+                    Json::Num(calib::DDR_GATHER_EFFICIENCY),
+                ),
+            ]),
+        ),
+    ]);
+    let path = write_bench_json("BENCH_runtime.json", &doc);
+    println!("wrote {}", path.display());
 }

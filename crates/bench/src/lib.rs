@@ -119,6 +119,119 @@ pub fn banner(title: &str) {
     println!();
 }
 
+/// Minimal JSON value for `BENCH_*.json` trajectory artifacts.
+///
+/// Runtime benches persist their measured numbers (latency percentiles,
+/// gather bandwidth, allocation counts) as machine-readable JSON next to
+/// the printed tables, so successive PRs leave a diffable performance
+/// trajectory. The workspace has no registry dependencies, so the writer
+/// is hand-rolled; artifacts are small, flat documents.
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(&str, Json)` pairs (field order is preserved).
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// String value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            // Shortest round-trip float formatting; non-finite values have
+            // no JSON spelling and degrade to null.
+            Json::Num(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes a `BENCH_*.json` artifact and returns its path. Files land in
+/// `$HERCULES_BENCH_OUT` when set, otherwise the workspace root.
+pub fn write_bench_json(file_name: &str, value: &Json) -> std::path::PathBuf {
+    let dir = std::env::var_os("HERCULES_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let path = dir.join(file_name);
+    std::fs::write(&path, value.render()).expect("bench artifact must be writable");
+    path.canonicalize().unwrap_or(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +248,29 @@ mod tests {
         let g = bench_gradient();
         assert!(!g.batch_levels.is_empty());
         assert!(!g.fusion_levels.is_empty());
+    }
+
+    #[test]
+    fn json_renders_valid_documents() {
+        let doc = Json::obj([
+            ("name", Json::str("fig \"x\"")),
+            ("count", Json::Int(3)),
+            ("ratio", Json::Num(0.25)),
+            ("bad", Json::Num(f64::NAN)),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = doc.render();
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("\"name\": \"fig \\\"x\\\"\""));
+        assert!(s.contains("\"count\": 3"));
+        assert!(s.contains("\"ratio\": 0.25"));
+        assert!(s.contains("\"bad\": null"));
+        assert!(s.contains("\"empty\": []"));
+        // Balanced brackets — a cheap structural sanity check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
     }
 }

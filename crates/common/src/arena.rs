@@ -1,0 +1,89 @@
+//! Reusable scratch buffers for allocation-free hot paths.
+//!
+//! A serving-path worker needs short-lived working memory — gather index
+//! vectors, pooled embedding accumulators, batch assembly lists — whose
+//! required size varies per request. Allocating it per request puts the
+//! global allocator on the latency path; [`ScratchBuf`] instead amortizes:
+//! each `take(n)` hands out a zeroed slice from an internal buffer that
+//! only ever *grows*, so after the first few requests the high-water mark
+//! is reached and the steady state performs zero heap allocations (the
+//! invariant the runtime's allocation-count guard test pins).
+
+/// A growable, reusable scratch buffer handing out zero-filled slices.
+///
+/// ```
+/// use hercules_common::arena::ScratchBuf;
+/// let mut buf: ScratchBuf<u64> = ScratchBuf::new();
+/// let s = buf.take(8);
+/// assert_eq!(s.len(), 8);
+/// s[0] = 7;
+/// // The next take reuses the same storage, re-zeroed.
+/// assert_eq!(buf.take(4)[0], 0);
+/// assert!(buf.capacity() >= 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchBuf<T> {
+    buf: Vec<T>,
+}
+
+impl<T: Copy + Default> ScratchBuf<T> {
+    /// An empty scratch buffer (no allocation until the first `take`).
+    pub fn new() -> Self {
+        ScratchBuf { buf: Vec::new() }
+    }
+
+    /// A scratch buffer pre-sized for `n` elements, so even the first
+    /// `take(m <= n)` allocates nothing.
+    pub fn with_capacity(n: usize) -> Self {
+        ScratchBuf {
+            buf: vec![T::default(); n],
+        }
+    }
+
+    /// Returns a zero-filled slice of length `n`, growing the backing
+    /// storage only when `n` exceeds the current high-water mark.
+    pub fn take(&mut self, n: usize) -> &mut [T] {
+        if self.buf.len() < n {
+            self.buf.resize(n, T::default());
+        }
+        let s = &mut self.buf[..n];
+        s.fill(T::default());
+        s
+    }
+
+    /// Current high-water mark (elements the buffer can hand out without
+    /// allocating).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroes_and_grows_monotonically() {
+        let mut b: ScratchBuf<f32> = ScratchBuf::new();
+        assert_eq!(b.capacity(), 0);
+        let s = b.take(16);
+        s.fill(3.5);
+        assert_eq!(b.capacity(), 16);
+        // Smaller take reuses storage and re-zeroes.
+        let s = b.take(8);
+        assert!(s.iter().all(|&x| x == 0.0));
+        assert_eq!(b.capacity(), 16);
+        // Larger take grows.
+        let s = b.take(32);
+        assert_eq!(s.len(), 32);
+        assert!(b.capacity() >= 32);
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes() {
+        let mut b: ScratchBuf<u64> = ScratchBuf::with_capacity(64);
+        assert_eq!(b.capacity(), 64);
+        assert_eq!(b.take(64).len(), 64);
+        assert_eq!(b.capacity(), 64);
+    }
+}

@@ -20,6 +20,7 @@
 //! assert_eq!(t.as_nanos(), 5_000_000);
 //! ```
 
+pub mod arena;
 pub mod dist;
 pub mod par;
 pub mod rng;

@@ -105,6 +105,21 @@ pub const GPU_IDLE_FRACTION: f64 = 0.17;
 /// even when idle — §VI-B's reason NMP hurts QPS/W for one-hot models).
 pub const NMP_IDLE_W_PER_DIMM: f64 = 3.0;
 
+/// The DDR gather efficiency a *measured* aggregate gather bandwidth
+/// implies: `measured / peak`, clamped to `[0, 1]`.
+///
+/// Compare the result against [`DDR_GATHER_EFFICIENCY`] to see how far
+/// the analytical gather term sits from the machine actually running the
+/// runtime's real-gather kernel — the live runtime prints both, and the
+/// ratio is the correction a re-calibration would apply. Non-finite or
+/// non-positive peaks yield `0.0`.
+pub fn implied_gather_efficiency(measured_gbs: f64, peak_gbs: f64) -> f64 {
+    if !peak_gbs.is_finite() || peak_gbs <= 0.0 || !measured_gbs.is_finite() {
+        return 0.0;
+    }
+    (measured_gbs / peak_gbs).clamp(0.0, 1.0)
+}
+
 /// Computes the compute-rate slowdown from `threads` co-located inference
 /// threads sharing the LLC.
 ///
@@ -138,6 +153,16 @@ mod tests {
         }
         assert_eq!(llc_interference_factor(1), 1.0);
         assert_eq!(llc_interference_factor(0), 1.0);
+    }
+
+    #[test]
+    fn implied_efficiency_clamps_and_rejects_bad_peaks() {
+        assert!((implied_gather_efficiency(45.0, 100.0) - 0.45).abs() < 1e-12);
+        assert_eq!(implied_gather_efficiency(200.0, 100.0), 1.0);
+        assert_eq!(implied_gather_efficiency(-3.0, 100.0), 0.0);
+        assert_eq!(implied_gather_efficiency(10.0, 0.0), 0.0);
+        assert_eq!(implied_gather_efficiency(10.0, f64::NAN), 0.0);
+        assert_eq!(implied_gather_efficiency(f64::NAN, 100.0), 0.0);
     }
 
     #[test]

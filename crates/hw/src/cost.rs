@@ -7,6 +7,8 @@
 //! dependency effects are preserved because the fold runs the
 //! [`crate::schedule::list_schedule`] pass internally.
 
+use std::sync::Arc;
+
 use hercules_common::units::{Joules, SimDuration};
 use hercules_model::graph::Graph;
 use hercules_model::op::OpKind;
@@ -87,6 +89,16 @@ pub struct BatchCost {
 pub trait ServiceOracle: Send + Sync {
     /// Cost of one batch of `items` through the stage this oracle prices.
     fn service_cost(&self, items: u32) -> BatchCost;
+
+    /// Shared-ownership variant of [`ServiceOracle::service_cost`] for
+    /// allocation-free hot paths: memoizing oracles return a cached `Arc`
+    /// so a steady-state dispatch clones a pointer instead of deep-copying
+    /// the [`BatchCost`] (whose `per_op` vector would otherwise heap
+    /// allocate per batch). The default implementation wraps the owned
+    /// cost, so non-caching oracles stay correct (if allocating).
+    fn service_cost_shared(&self, items: u32) -> Arc<BatchCost> {
+        Arc::new(self.service_cost(items))
+    }
 }
 
 /// Latency of one operator on one CPU operator worker.
@@ -339,6 +351,24 @@ pub fn colocation_derate(tenants: u32, corunner_intensity: f64) -> f64 {
     let per_tenant = calib::TENANT_INTERFERENCE_PER_TENANT
         * (calib::TENANT_INTENSITY_FLOOR + (1.0 - calib::TENANT_INTENSITY_FLOOR) * i);
     (1.0 + per_tenant * (tenants - 1) as f64).min(calib::TENANT_DERATE_CEILING)
+}
+
+/// The cost model's effective *aggregate* embedding-gather bandwidth
+/// (GB/s) for `threads` co-located inference threads with `workers`
+/// operator workers each — the same stream accounting [`cpu_op_latency`]
+/// charges random-access sparse ops with, folded to a single figure.
+///
+/// This is the model-side number a live gather measurement calibrates
+/// against: `measured / modeled` close to 1.0 means the
+/// [`calib::DDR_GATHER_EFFICIENCY`] / [`calib::PER_CORE_GATHER_GBS`]
+/// pair describes the machine; a large gap is a calibration error the
+/// runtime reports (see `serve_live` and the `fig_gather_bw` bench).
+pub fn modeled_gather_bw_gbs(server: &ServerSpec, threads: u32, workers: u32) -> f64 {
+    let threads = threads.max(1);
+    let streams = (threads as f64 * (1.0 + 0.5 * (workers.max(1) - 1) as f64))
+        .clamp(1.0, server.cpu.cores as f64);
+    (calib::PER_CORE_GATHER_GBS * streams)
+        .min(server.mem.peak_bw_gbs * calib::DDR_GATHER_EFFICIENCY)
 }
 
 /// Host-to-device transfer time for `bytes` over PCIe with `contenders`
@@ -595,6 +625,42 @@ mod tests {
         assert_eq!(colocation_derate(3, f64::NAN), colocation_derate(3, 1.0));
         // Idle co-runners still pay the LLC-pollution floor.
         assert!(colocation_derate(2, 0.0) > 1.0);
+    }
+
+    #[test]
+    fn modeled_gather_bw_scales_then_saturates() {
+        let server = t2();
+        let one = modeled_gather_bw_gbs(&server, 1, 1);
+        assert!((one - calib::PER_CORE_GATHER_GBS).abs() < 1e-12);
+        let ten = modeled_gather_bw_gbs(&server, 10, 1);
+        assert!(ten > one, "more threads sustain more gather streams");
+        let cap = server.mem.peak_bw_gbs * calib::DDR_GATHER_EFFICIENCY;
+        assert!(ten <= cap + 1e-12);
+        // Saturates at the socket's gather-derated peak.
+        let many = modeled_gather_bw_gbs(&server, 1000, 4);
+        assert!((many - cap).abs() < 1e-9);
+        assert_eq!(modeled_gather_bw_gbs(&server, 0, 0), one);
+    }
+
+    #[test]
+    fn shared_cost_defaults_to_owned() {
+        struct Fixed;
+        impl ServiceOracle for Fixed {
+            fn service_cost(&self, items: u32) -> BatchCost {
+                BatchCost {
+                    latency: SimDuration::from_micros(items as u64),
+                    busy_core_time: SimDuration::ZERO,
+                    idle_fraction: 0.0,
+                    channel_bytes: 0.0,
+                    nmp_energy: Joules::ZERO,
+                    gpu_busy: SimDuration::ZERO,
+                    gpu_util: 0.0,
+                    per_op: Vec::new(),
+                }
+            }
+        }
+        let shared = Fixed.service_cost_shared(40);
+        assert_eq!(shared.latency, Fixed.service_cost(40).latency);
     }
 
     #[test]

@@ -135,7 +135,13 @@ impl EmbeddingTableSpec {
 
     /// Bytes to store the full table (f32 entries).
     pub fn size(&self) -> MemBytes {
-        MemBytes::from_bytes(self.rows * self.dim as u64 * 4)
+        MemBytes::from_bytes(self.rows * self.row_bytes())
+    }
+
+    /// Bytes of one embedding row (f32 entries) — the granule a gather
+    /// kernel reads per index.
+    pub const fn row_bytes(&self) -> u64 {
+        self.dim as u64 * 4
     }
 
     /// Average pooling factor of lookups.
@@ -179,6 +185,7 @@ mod tests {
     fn table_size() {
         let t = EmbeddingTableSpec::new(1_000_000, 32, PoolingSpec::OneHot, 0.8);
         assert_eq!(t.size(), MemBytes::from_bytes(128_000_000));
+        assert_eq!(t.row_bytes(), 128);
     }
 
     #[test]

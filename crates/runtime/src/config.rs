@@ -1,8 +1,10 @@
 //! Runtime controls: clock mode, dynamic-batching policy, SLA-aware
 //! admission, and queue bounds.
 
-use hercules_common::units::SimDuration;
+use hercules_common::units::{MemBytes, SimDuration};
 use hercules_sim::{SimConfig, SlaSpec};
+
+pub use crate::affinity::PinPolicy;
 
 /// How the runtime advances time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +35,49 @@ impl ClockMode {
     /// Whether this is the deterministic virtual clock.
     pub fn is_virtual(&self) -> bool {
         matches!(self, ClockMode::Virtual)
+    }
+}
+
+/// How the wall-clock front pool spends a sub-query's sparse (embedding
+/// gather) time.
+///
+/// Only the wall clock consults this: the virtual clock is a deterministic
+/// event loop over modeled costs and produces bit-identical reports
+/// regardless of the gather mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GatherMode {
+    /// Busy-wait for the modeled sparse time (the seed behaviour). No
+    /// memory traffic; pure timing emulation.
+    Synthetic,
+    /// Execute a real Gather-and-Reduce against a resident synthetic
+    /// embedding arena (see [`memory`](crate::memory)); the measured
+    /// gather time replaces the modeled sparse share of the service time,
+    /// and the dense residual is still busy-waited.
+    Real {
+        /// Memory budget for the arena. Tables that do not fit are
+        /// row-compacted proportionally (Zipf hot rows survive).
+        budget: MemBytes,
+    },
+}
+
+impl GatherMode {
+    /// Real gathers under a budget of `gib` GiB.
+    pub fn real_gib(gib: u64) -> Self {
+        GatherMode::Real {
+            budget: MemBytes::from_gib(gib),
+        }
+    }
+
+    /// Real gathers under a budget of `mib` MiB.
+    pub fn real_mib(mib: u64) -> Self {
+        GatherMode::Real {
+            budget: MemBytes::from_mib(mib),
+        }
+    }
+
+    /// Whether this mode executes real memory reads.
+    pub fn is_real(&self) -> bool {
+        matches!(self, GatherMode::Real { .. })
     }
 }
 
@@ -105,6 +150,12 @@ pub struct RuntimeConfig {
     pub batch: BatchPolicy,
     /// SLA-aware admission control.
     pub admission: AdmissionPolicy,
+    /// Sparse-stage execution for the wall clock: timed busy-wait or real
+    /// embedding gathers. Ignored by the virtual clock.
+    pub gather: GatherMode,
+    /// Worker→core placement for the wall clock's stage pools. Ignored by
+    /// the virtual clock.
+    pub affinity: PinPolicy,
 }
 
 impl RuntimeConfig {
@@ -121,6 +172,8 @@ impl RuntimeConfig {
             queue_depth: 65_536,
             batch: BatchPolicy::default(),
             admission: AdmissionPolicy::default(),
+            gather: GatherMode::Synthetic,
+            affinity: PinPolicy::None,
         }
     }
 
@@ -147,6 +200,18 @@ impl RuntimeConfig {
         self.queue_depth = depth.max(1);
         self
     }
+
+    /// Builder: sets the wall-clock gather mode.
+    pub fn with_gather(mut self, gather: GatherMode) -> Self {
+        self.gather = gather;
+        self
+    }
+
+    /// Builder: sets the wall-clock worker pinning policy.
+    pub fn with_affinity(mut self, affinity: PinPolicy) -> Self {
+        self.affinity = affinity;
+        self
+    }
 }
 
 impl Default for RuntimeConfig {
@@ -168,6 +233,25 @@ mod tests {
         assert_eq!(rt.seed, sim.seed);
         assert!(rt.clock.is_virtual());
         assert_eq!(rt.admission.budget, None);
+        assert_eq!(rt.gather, GatherMode::Synthetic);
+        assert_eq!(rt.affinity, PinPolicy::None);
+    }
+
+    #[test]
+    fn gather_mode_builders() {
+        let cfg = RuntimeConfig::default()
+            .with_gather(GatherMode::real_mib(256))
+            .with_affinity(PinPolicy::Compact);
+        assert!(cfg.gather.is_real());
+        assert_eq!(
+            cfg.gather,
+            GatherMode::Real {
+                budget: MemBytes::from_mib(256)
+            }
+        );
+        assert_eq!(cfg.affinity, PinPolicy::Compact);
+        assert!(!GatherMode::Synthetic.is_real());
+        assert!(GatherMode::real_gib(1).is_real());
     }
 
     #[test]

@@ -26,7 +26,12 @@
 //! - [`ClockMode::Wall`] — a calibrated busy-wait wall clock. Worker
 //!   pools are real OS threads that spin for each batch's modeled service
 //!   time, so benches observe genuine concurrency effects: queue
-//!   contention, batching jitter, and worker wake-ups.
+//!   contention, batching jitter, and worker wake-ups. With
+//!   [`GatherMode::Real`] the front pool additionally executes genuine
+//!   memory-bound embedding gathers against a resident synthetic arena
+//!   ([`memory`]), optionally NUMA-placed by pinning workers to cores
+//!   ([`affinity`]), and the hot path is allocation-free in steady state
+//!   (auditable via [`telemetry::CountingAlloc`]).
 //!
 //! ```no_run
 //! use hercules_runtime::{RuntimeConfig, ServingRuntime};
@@ -46,7 +51,9 @@
 //! ```
 
 pub mod admission;
+pub mod affinity;
 pub mod config;
+pub mod memory;
 pub mod report;
 pub mod search;
 pub mod serve;
@@ -58,8 +65,10 @@ mod virt;
 mod wall;
 
 pub use admission::AdmissionController;
-pub use config::{AdmissionPolicy, BatchPolicy, ClockMode, RuntimeConfig};
-pub use report::{RuntimeReport, StageSummary};
+pub use affinity::{CorePlan, PinPolicy};
+pub use config::{AdmissionPolicy, BatchPolicy, ClockMode, GatherMode, RuntimeConfig};
+pub use memory::{EmbeddingArena, GatherOutcome, GatherScratch, InitPlacement};
+pub use report::{GatherStats, RuntimeReport, StageSummary};
 pub use search::max_qps_under_sla_live;
 pub use serve::ServingRuntime;
-pub use telemetry::{StageKind, WorkerTelemetry};
+pub use telemetry::{thread_allocs, CountingAlloc, StageKind, WorkerTelemetry};

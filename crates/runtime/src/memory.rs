@@ -1,0 +1,376 @@
+//! Synthetic embedding arenas: real memory for real gathers.
+//!
+//! The wall-clock executor's front stages model the sparse phase — the
+//! Gather-and-Reduce over embedding tables that makes recommendation
+//! inference memory-bound (§IV-B, Fig. 2c). Busy-waiting for the modeled
+//! sparse time exercises none of the machine's memory system; this module
+//! gives the front pool actual embedding tables to read so the measured
+//! service time includes genuine DRAM behaviour (random-access bandwidth,
+//! LLC misses, NUMA placement).
+//!
+//! An [`EmbeddingArena`] backs every table of a model with one contiguous
+//! f32 slab. When the full tables exceed the caller's memory budget, each
+//! table is *compacted*: it keeps a proportional share of rows and logical
+//! Zipf row ranks map onto the allocated rows modulo their count — rank 1
+//! (the hottest row) stays rank 1, so the popularity skew the paper's
+//! locality analysis depends on survives compaction.
+//!
+//! Gathers draw their indices from per-table pools pre-sampled from the
+//! table's Zipf popularity at build time: sampling rejection-inversion Zipf
+//! live would cost more CPU than the gather itself and turn a memory-bound
+//! kernel compute-bound. Workers instead pick a random pool offset per
+//! sub-query and walk the pool sequentially, so index generation is a few
+//! nanoseconds per row while the gathered rows remain maximally scattered.
+//! Every gathered row is pooled (summed) into an output vector and folded
+//! into a running checksum, so the loads are live data dependencies the
+//! optimizer cannot delete.
+
+use hercules_common::arena::ScratchBuf;
+use hercules_common::dist::Distribution;
+use hercules_common::rng::SimRng;
+use hercules_common::units::MemBytes;
+use hercules_model::table::EmbeddingTableSpec;
+
+use crate::affinity;
+
+/// Pre-sampled Zipf indices per table. Large enough that the union of hot
+/// rows spills the LLC (the gather must hit DRAM), small enough that the
+/// one-time rejection-inversion sampling stays in the hundreds of
+/// milliseconds.
+const INDEX_POOL_LEN: usize = 1 << 18;
+
+/// Floor on rows kept per table under compaction: enough distinct rows
+/// that gathers stay random-access rather than cache-resident.
+const MIN_ROWS_PER_TABLE: u64 = 4096;
+
+/// How the arena's pages are first-touched at build time. On Linux, pages
+/// belong to the NUMA node of the core that first writes them, so the init
+/// placement *is* the data placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InitPlacement {
+    /// One thread fills the whole slab (NUMA-oblivious: all pages land on
+    /// the node the builder happens to run on).
+    Serial,
+    /// The slab is split into one contiguous chunk per listed core and
+    /// each chunk is filled by a thread pinned to that core — the cores
+    /// the front pool will gather from, so pages land on the gathering
+    /// workers' nodes.
+    Pinned {
+        /// Cores to pin the fill threads to (typically the front pool's
+        /// [`CorePlan`](crate::affinity::CorePlan)).
+        cores: Vec<usize>,
+    },
+}
+
+#[derive(Debug)]
+struct TableSlot {
+    /// Element (not byte) offset of this table in the slab.
+    offset: usize,
+    /// Rows actually allocated (≤ the spec's row count under compaction).
+    rows_alloc: u32,
+    /// Embedding dimension.
+    dim: u32,
+    /// Pooling bounds (rows gathered per item).
+    pool_min: u32,
+    pool_max: u32,
+    /// Pre-sampled Zipf row indices, already mapped into `0..rows_alloc`.
+    indices: Vec<u32>,
+}
+
+/// Outcome of one gather call: what was read and what it summed to.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GatherOutcome {
+    /// Embedding-table bytes read.
+    pub bytes: u64,
+    /// Rows gathered across all tables and items.
+    pub rows: u64,
+    /// Sum of all pooled outputs — a live data dependency on every row
+    /// read, and a determinism witness (same seed ⇒ same checksum).
+    pub checksum: f64,
+}
+
+/// Per-worker scratch for [`EmbeddingArena::gather`]: the pooled-output
+/// accumulator, reused across calls so steady-state gathers allocate
+/// nothing.
+#[derive(Debug, Default)]
+pub struct GatherScratch {
+    pooled: ScratchBuf<f32>,
+}
+
+impl GatherScratch {
+    /// Scratch pre-sized for tables up to `max_dim` wide.
+    pub fn with_dim(max_dim: u32) -> Self {
+        GatherScratch {
+            pooled: ScratchBuf::with_capacity(max_dim as usize),
+        }
+    }
+}
+
+/// Synthetic embedding tables in real, resident memory.
+#[derive(Debug)]
+pub struct EmbeddingArena {
+    slab: Vec<f32>,
+    tables: Vec<TableSlot>,
+    resident: MemBytes,
+    full_size: MemBytes,
+    seed: u64,
+    compacted: bool,
+}
+
+impl EmbeddingArena {
+    /// Builds an arena for `specs`, deterministically filled from `seed`,
+    /// holding every table in full if they fit within `budget` and
+    /// proportionally compacted rows otherwise.
+    pub fn build(
+        specs: &[EmbeddingTableSpec],
+        budget: MemBytes,
+        seed: u64,
+        placement: &InitPlacement,
+    ) -> Self {
+        let full: u64 = specs.iter().map(|t| t.size().as_bytes()).sum();
+        let scale = if full <= budget.as_bytes() || full == 0 {
+            1.0
+        } else {
+            budget.as_bytes() as f64 / full as f64
+        };
+        let compacted = scale < 1.0;
+
+        let mut tables = Vec::with_capacity(specs.len());
+        let mut offset = 0usize;
+        for spec in specs {
+            let rows_alloc = if compacted {
+                ((spec.rows as f64 * scale) as u64)
+                    .max(MIN_ROWS_PER_TABLE)
+                    .min(spec.rows)
+            } else {
+                spec.rows
+            };
+            let rows_alloc = u32::try_from(rows_alloc).unwrap_or(u32::MAX);
+            let (pool_min, pool_max) = spec.pooling.bounds();
+            tables.push(TableSlot {
+                offset,
+                rows_alloc,
+                dim: spec.dim,
+                pool_min,
+                pool_max,
+                indices: Vec::new(),
+            });
+            offset += rows_alloc as usize * spec.dim as usize;
+        }
+
+        // Allocate the slab zeroed (lazy pages), then first-touch it
+        // according to the placement plan.
+        let mut slab = vec![0.0f32; offset];
+        fill_slab(&mut slab, seed, placement);
+
+        // Pre-sample the per-table index pools. Zipf ranks are 1-based,
+        // hottest first; under compaction rank r maps to allocated row
+        // (r - 1) mod rows_alloc, which is the identity for every hot row
+        // that survived.
+        let mut rng = SimRng::seed_from(seed ^ 0x45AE_9A14_7C3B_00D7);
+        for (slot, spec) in tables.iter_mut().zip(specs) {
+            let zipf = spec.popularity();
+            let mut pool_rng = rng.fork();
+            slot.indices = (0..INDEX_POOL_LEN)
+                .map(|_| {
+                    let rank = zipf.sample(&mut pool_rng);
+                    ((rank - 1) % slot.rows_alloc as u64) as u32
+                })
+                .collect();
+        }
+
+        EmbeddingArena {
+            resident: MemBytes::from_bytes(offset as u64 * 4),
+            full_size: MemBytes::from_bytes(full),
+            slab,
+            tables,
+            seed,
+            compacted,
+        }
+    }
+
+    /// Gathers embeddings for `items` items across every table: per item
+    /// and table, a Zipf-pooled set of rows is read from the slab and
+    /// summed into the scratch accumulator. Allocation-free once `scratch`
+    /// has reached its high-water mark.
+    pub fn gather(
+        &self,
+        items: u32,
+        rng: &mut SimRng,
+        scratch: &mut GatherScratch,
+    ) -> GatherOutcome {
+        let mut out = GatherOutcome::default();
+        for slot in &self.tables {
+            let dim = slot.dim as usize;
+            let table = &self.slab[slot.offset..slot.offset + slot.rows_alloc as usize * dim];
+            let pool = &slot.indices[..];
+            // One random pool offset per (sub-query, table); items then
+            // walk the pool sequentially with wraparound.
+            let mut cursor = rng.index(pool.len());
+            let pooled = scratch.pooled.take(dim);
+            let mut table_rows = 0u64;
+            for _ in 0..items {
+                let rows = rng.int_range(slot.pool_min as u64, slot.pool_max as u64) as usize;
+                for _ in 0..rows {
+                    let row = pool[cursor] as usize;
+                    cursor += 1;
+                    if cursor == pool.len() {
+                        cursor = 0;
+                    }
+                    let src = &table[row * dim..row * dim + dim];
+                    for (acc, &v) in pooled.iter_mut().zip(src) {
+                        *acc += v;
+                    }
+                }
+                table_rows += rows as u64;
+            }
+            out.rows += table_rows;
+            out.bytes += table_rows * slot.dim as u64 * 4;
+            out.checksum += pooled.iter().map(|&v| v as f64).sum::<f64>();
+        }
+        out
+    }
+
+    /// Bytes of embedding data resident in the slab.
+    pub fn resident(&self) -> MemBytes {
+        self.resident
+    }
+
+    /// Bytes the full (uncompacted) tables would need.
+    pub fn full_size(&self) -> MemBytes {
+        self.full_size
+    }
+
+    /// Whether the budget forced row compaction.
+    pub fn is_compacted(&self) -> bool {
+        self.compacted
+    }
+
+    /// Number of tables backed by the arena.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The seed the slab contents and index pools derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Widest embedding dimension across tables (sizes gather scratch).
+    pub fn max_dim(&self) -> u32 {
+        self.tables.iter().map(|t| t.dim).max().unwrap_or(0)
+    }
+}
+
+/// Deterministic f32 in [0, 1) for slab element `idx` under `seed`
+/// (SplitMix64 avalanche; chunk-order independent so parallel and serial
+/// fills produce identical slabs).
+#[inline]
+fn element_value(seed: u64, idx: u64) -> f32 {
+    let mut z = seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+fn fill_chunk(chunk: &mut [f32], seed: u64, base: u64) {
+    for (i, v) in chunk.iter_mut().enumerate() {
+        *v = element_value(seed, base + i as u64);
+    }
+}
+
+fn fill_slab(slab: &mut [f32], seed: u64, placement: &InitPlacement) {
+    match placement {
+        InitPlacement::Serial => fill_chunk(slab, seed, 0),
+        InitPlacement::Pinned { cores } if cores.is_empty() => fill_chunk(slab, seed, 0),
+        InitPlacement::Pinned { cores } => {
+            let n = cores.len();
+            let chunk_len = slab.len().div_ceil(n);
+            std::thread::scope(|s| {
+                for (i, chunk) in slab.chunks_mut(chunk_len.max(1)).enumerate() {
+                    let core = cores[i % n];
+                    let base = (i * chunk_len) as u64;
+                    s.spawn(move || {
+                        // Best-effort: an unpinnable core still fills its
+                        // chunk, just wherever the OS runs it.
+                        let _ = affinity::pin_current_thread(core);
+                        fill_chunk(chunk, seed, base);
+                    });
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hercules_model::table::PoolingSpec;
+
+    fn specs() -> Vec<EmbeddingTableSpec> {
+        vec![
+            EmbeddingTableSpec::new(100_000, 16, PoolingSpec::multi_hot(4, 12), 0.8),
+            EmbeddingTableSpec::new(50_000, 32, PoolingSpec::OneHot, 0.9),
+        ]
+    }
+
+    #[test]
+    fn full_build_when_budget_suffices() {
+        let arena =
+            EmbeddingArena::build(&specs(), MemBytes::from_gib(1), 7, &InitPlacement::Serial);
+        assert!(!arena.is_compacted());
+        assert_eq!(arena.resident(), arena.full_size());
+        assert_eq!(arena.table_count(), 2);
+        assert_eq!(arena.max_dim(), 32);
+    }
+
+    #[test]
+    fn compaction_respects_budget_and_floor() {
+        let budget = MemBytes::from_mib(2);
+        let arena = EmbeddingArena::build(&specs(), budget, 7, &InitPlacement::Serial);
+        assert!(arena.is_compacted());
+        // Proportional shares can overshoot slightly via the per-table row
+        // floor; allow the floor's worth of slack.
+        let floor_bytes: u64 = specs()
+            .iter()
+            .map(|t| MIN_ROWS_PER_TABLE * t.row_bytes())
+            .sum();
+        assert!(arena.resident().as_bytes() <= budget.as_bytes() + floor_bytes);
+        assert!(arena.resident() < arena.full_size());
+    }
+
+    #[test]
+    fn gather_is_deterministic_per_seed_and_reads_bytes() {
+        let arena =
+            EmbeddingArena::build(&specs(), MemBytes::from_mib(64), 42, &InitPlacement::Serial);
+        let mut scratch = GatherScratch::with_dim(arena.max_dim());
+        let mut rng = SimRng::seed_from(5);
+        let a = arena.gather(64, &mut rng, &mut scratch);
+        let mut rng = SimRng::seed_from(5);
+        let b = arena.gather(64, &mut rng, &mut scratch);
+        assert_eq!(a, b, "same seed must reproduce bytes, rows, checksum");
+        assert!(a.bytes > 0 && a.rows > 0);
+        assert!(a.checksum.is_finite() && a.checksum != 0.0);
+        // Different rng stream → different draw sequence.
+        let mut rng = SimRng::seed_from(6);
+        let c = arena.gather(64, &mut rng, &mut scratch);
+        assert_ne!(a.checksum, c.checksum);
+    }
+
+    #[test]
+    fn parallel_pinned_fill_matches_serial_fill() {
+        let spec = vec![EmbeddingTableSpec::new(10_000, 8, PoolingSpec::OneHot, 0.8)];
+        let serial =
+            EmbeddingArena::build(&spec, MemBytes::from_mib(64), 3, &InitPlacement::Serial);
+        let pinned = EmbeddingArena::build(
+            &spec,
+            MemBytes::from_mib(64),
+            3,
+            &InitPlacement::Pinned {
+                cores: affinity::online_cores(),
+            },
+        );
+        assert_eq!(serial.slab, pinned.slab, "fill must be placement-invariant");
+    }
+}

@@ -36,7 +36,9 @@ impl<T> SyncQueue<T> {
     pub fn new(capacity: usize) -> Self {
         SyncQueue {
             inner: Mutex::new(Inner {
-                items: VecDeque::new(),
+                // Reserve the full bound up front so steady-state pushes
+                // never grow the ring (zero-alloc hot path).
+                items: VecDeque::with_capacity(capacity.max(1)),
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -78,6 +80,17 @@ impl<T> SyncQueue<T> {
         drop(g);
         self.not_empty.notify_one();
         true
+    }
+
+    /// Pops the next item if one is immediately available; never blocks.
+    /// Used by the GPU-batch buffer freelist, where an empty freelist just
+    /// means "allocate a fresh buffer".
+    pub fn try_pop(&self) -> Option<T> {
+        let item = self.inner.lock().expect("queue poisoned").items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
     }
 
     /// Pops the next item, blocking until one arrives; `None` once the
@@ -164,6 +177,16 @@ mod tests {
         assert!(!q.try_push_all([4, 5].into_iter()), "only one slot left");
         assert_eq!(q.len(), 3, "failed push enqueued nothing");
         assert!(q.try_push_all([4].into_iter()));
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = SyncQueue::new(4);
+        assert_eq!(q.try_pop(), None::<u32>);
+        assert!(q.push_wait(1));
+        assert_eq!(q.try_pop(), Some(1));
+        q.close();
+        assert_eq!(q.try_pop(), None);
     }
 
     #[test]

@@ -33,6 +33,39 @@ pub struct StageSummary {
     pub service_p99: SimDuration,
 }
 
+/// What the wall clock's real gathers measured (absent in synthetic mode
+/// and under the virtual clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GatherStats {
+    /// Embedding-table bytes actually read.
+    pub bytes: u64,
+    /// Rows gathered.
+    pub rows: u64,
+    /// Wall seconds spent inside gather kernels (summed across workers).
+    pub wall_s: f64,
+    /// Sum of per-gather checksums: a live data dependency on every byte
+    /// read, and a cross-run determinism witness for a fixed seed.
+    pub checksum: f64,
+    /// Bytes resident in the embedding arena.
+    pub resident_bytes: u64,
+    /// Whether the arena was row-compacted to fit its budget.
+    pub compacted: bool,
+}
+
+impl GatherStats {
+    /// Mean per-stream gather bandwidth in GB/s: total bytes over total
+    /// in-kernel wall seconds. Workers gather concurrently, so the
+    /// machine-aggregate bandwidth is this times the number of
+    /// simultaneously-gathering workers.
+    pub fn achieved_gbs(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.bytes as f64 / self.wall_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything a runtime run measures.
 #[derive(Debug, Clone)]
 pub struct RuntimeReport {
@@ -52,6 +85,18 @@ pub struct RuntimeReport {
     pub clock: ClockMode,
     /// Wall-clock seconds the run took (wall mode only).
     pub wall_elapsed_s: Option<f64>,
+    /// Real-gather measurements (wall mode with [`GatherMode::Real`]
+    /// only).
+    ///
+    /// [`GatherMode::Real`]: crate::config::GatherMode::Real
+    pub gather: Option<GatherStats>,
+    /// Heap allocations observed on worker hot paths after warm-up,
+    /// summed across workers. Meaningful only in binaries that install
+    /// [`CountingAlloc`](crate::telemetry::CountingAlloc) as the global
+    /// allocator; reads 0 elsewhere.
+    pub hot_allocs: u64,
+    /// Post-warm-up batches the allocation counter was sampled over.
+    pub hot_samples: u64,
 }
 
 impl RuntimeReport {
@@ -71,6 +116,16 @@ impl RuntimeReport {
             self.shed as f64 / self.sim.total_arrivals as f64
         }
     }
+
+    /// Mean heap allocations per sampled hot-path batch (0 when the
+    /// counting allocator is not installed or nothing was sampled).
+    pub fn allocs_per_sample(&self) -> f64 {
+        if self.hot_samples == 0 {
+            0.0
+        } else {
+            self.hot_allocs as f64 / self.hot_samples as f64
+        }
+    }
 }
 
 /// Whole-run counters the executors hand to [`assemble`] alongside the
@@ -84,6 +139,9 @@ pub(crate) struct RunTotals {
     pub shed: u64,
     pub in_flight: u64,
     pub wall_elapsed_s: Option<f64>,
+    /// `(resident_bytes, compacted)` of the embedding arena when the run
+    /// executed real gathers; `None` turns the report's gather field off.
+    pub arena: Option<(u64, bool)>,
 }
 
 /// Folds per-worker telemetry into the final report. Workers are merged
@@ -115,6 +173,9 @@ pub(crate) fn assemble(
     let mut idle_weighted = 0.0;
     let mut busy_weight = 0.0;
     let mut total_nmp_j = 0.0;
+    let mut gather = GatherStats::default();
+    let mut hot_allocs = 0u64;
+    let mut hot_samples = 0u64;
     for w in &workers {
         e2e.merge(&w.e2e);
         buckets.merge(&w.buckets);
@@ -126,7 +187,18 @@ pub(crate) fn assemble(
         idle_weighted += w.idle_weighted;
         busy_weight += w.busy_weight;
         total_nmp_j += w.nmp_j;
+        gather.bytes += w.gather_bytes;
+        gather.rows += w.gather_rows;
+        gather.wall_s += w.gather_wall_s;
+        gather.checksum += w.gather_checksum;
+        hot_allocs += w.hot_allocs;
+        hot_samples += w.hot_samples;
     }
+    let gather = totals.arena.map(|(resident_bytes, compacted)| GatherStats {
+        resident_bytes,
+        compacted,
+        ..gather
+    });
 
     let stages = summarize_stages(&workers);
 
@@ -193,6 +265,9 @@ pub(crate) fn assemble(
         stages,
         clock: cfg.clock,
         wall_elapsed_s: totals.wall_elapsed_s,
+        gather,
+        hot_allocs,
+        hot_samples,
     }
 }
 

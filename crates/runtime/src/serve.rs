@@ -1,6 +1,8 @@
 //! The serving runtime: builds a topology once, then serves query streams
 //! under either clock.
 
+use std::sync::OnceLock;
+
 use hercules_common::units::{Qps, SimTime};
 use hercules_hw::nmp::NmpLutCache;
 use hercules_hw::server::ServerSpec;
@@ -9,7 +11,9 @@ use hercules_sim::{build_topology, PlacementPlan, PlanError, Topology};
 use hercules_workload::generator::QueryStream;
 use hercules_workload::query::Query;
 
-use crate::config::{ClockMode, RuntimeConfig};
+use crate::affinity::CorePlan;
+use crate::config::{ClockMode, GatherMode, RuntimeConfig};
+use crate::memory::{EmbeddingArena, InitPlacement};
 use crate::report::RuntimeReport;
 use crate::{virt, wall};
 
@@ -23,6 +27,11 @@ pub struct ServingRuntime {
     topo: Topology,
     server: ServerSpec,
     cfg: RuntimeConfig,
+    /// Lazily-built embedding arena for wall-clock real gathers. Built at
+    /// most once per runtime (rate searches re-serve the same topology
+    /// dozens of times; re-allocating gigabytes per probe would dominate
+    /// the search), keyed by the first real-gather serve's budget.
+    arena: OnceLock<EmbeddingArena>,
 }
 
 impl ServingRuntime {
@@ -40,12 +49,22 @@ impl ServingRuntime {
         luts: &NmpLutCache,
     ) -> Result<Self, PlanError> {
         let topo = build_topology(model, &server, plan, luts)?;
-        Ok(ServingRuntime { topo, server, cfg })
+        Ok(ServingRuntime {
+            topo,
+            server,
+            cfg,
+            arena: OnceLock::new(),
+        })
     }
 
     /// Wraps a pre-built topology.
     pub fn from_topology(topo: Topology, server: ServerSpec, cfg: RuntimeConfig) -> Self {
-        ServingRuntime { topo, server, cfg }
+        ServingRuntime {
+            topo,
+            server,
+            cfg,
+            arena: OnceLock::new(),
+        }
     }
 
     /// The execution topology.
@@ -74,8 +93,37 @@ impl ServingRuntime {
     pub fn serve_with(&self, offered: Qps, cfg: &RuntimeConfig) -> RuntimeReport {
         match cfg.clock {
             ClockMode::Virtual => virt::run(&self.topo, &self.server, cfg, offered),
-            ClockMode::Wall { .. } => wall::run(&self.topo, &self.server, cfg, offered),
+            ClockMode::Wall { .. } => {
+                wall::run(&self.topo, &self.server, cfg, offered, self.arena_for(cfg))
+            }
         }
+    }
+
+    /// The embedding arena backing real gathers under `cfg`, building it
+    /// on first use; `None` when the config gathers synthetically or the
+    /// plan has no front (sparse) stage to gather in.
+    fn arena_for(&self, cfg: &RuntimeConfig) -> Option<&EmbeddingArena> {
+        let GatherMode::Real { budget } = cfg.gather else {
+            return None;
+        };
+        let front = self.topo.front.as_ref()?;
+        let tables = front.svc.tables();
+        if tables.is_empty() {
+            return None;
+        }
+        Some(self.arena.get_or_init(|| {
+            // First-touch the slab from the cores the front pool will
+            // gather on, so its pages land on those workers' NUMA nodes.
+            let plan = CorePlan::plan(cfg.affinity, front.threads as usize, 0, 0);
+            let placement = if plan.front.is_empty() {
+                InitPlacement::Serial
+            } else {
+                InitPlacement::Pinned {
+                    cores: plan.front.clone(),
+                }
+            };
+            EmbeddingArena::build(tables, budget, cfg.seed, &placement)
+        }))
     }
 }
 

@@ -76,6 +76,22 @@ pub struct WorkerTelemetry {
     pub busy_weight: f64,
     /// On-DIMM NMP energy issued by this worker (joules).
     pub nmp_j: f64,
+    /// Embedding bytes actually read by real gathers (zero in synthetic
+    /// mode).
+    pub gather_bytes: u64,
+    /// Rows gathered by real gathers.
+    pub gather_rows: u64,
+    /// Wall seconds spent inside real gather kernels.
+    pub gather_wall_s: f64,
+    /// Sum of gather checksums — a live use of every byte read, and a
+    /// cross-run determinism witness.
+    pub gather_checksum: f64,
+    /// Heap allocations observed on this worker's hot path after warm-up
+    /// (populated only when a counting allocator is installed; see
+    /// [`thread_allocs`]).
+    pub hot_allocs: u64,
+    /// Batches the hot-allocation count was sampled over.
+    pub hot_samples: u64,
     /// Bucketed resource accounting (merged into the run summary).
     pub(crate) buckets: Buckets,
 }
@@ -99,11 +115,18 @@ impl WorkerTelemetry {
             idle_weighted: 0.0,
             busy_weight: 0.0,
             nmp_j: 0.0,
+            gather_bytes: 0,
+            gather_rows: 0,
+            gather_wall_s: 0.0,
+            gather_checksum: 0.0,
+            hot_allocs: 0,
+            hot_samples: 0,
             buckets: Buckets::new(duration),
         }
     }
 
-    /// Records one CPU batch dispatched at `start` after waiting `wait`.
+    /// Records one CPU batch dispatched at `start` after waiting `wait`,
+    /// charging the modeled latency as the observed service time.
     pub(crate) fn record_cpu(
         &mut self,
         start: SimTime,
@@ -111,11 +134,27 @@ impl WorkerTelemetry {
         items: u32,
         cost: &BatchCost,
     ) {
+        self.record_cpu_measured(start, wait, items, cost, cost.latency);
+    }
+
+    /// Records one CPU batch whose *observed* service time (`service`)
+    /// differs from the modeled latency — the real-gather path, where the
+    /// sparse phase is measured rather than emulated. Resource accounting
+    /// (core-seconds, channel bytes, NMP energy) still follows the model,
+    /// so power summaries stay comparable across gather modes.
+    pub(crate) fn record_cpu_measured(
+        &mut self,
+        start: SimTime,
+        wait: SimDuration,
+        items: u32,
+        cost: &BatchCost,
+        service: SimDuration,
+    ) {
         self.batches += 1;
         self.items += items as u64;
-        self.busy += cost.latency;
+        self.busy += service;
         self.queue_wait.record(wait.as_secs_f64());
-        self.service.record(cost.latency.as_secs_f64());
+        self.service.record(service.as_secs_f64());
         let b = self.buckets.index(start);
         self.buckets.cpu_core_s[b] += cost.busy_core_time.as_secs_f64();
         self.buckets.chan_bytes[b] += cost.channel_bytes;
@@ -168,6 +207,86 @@ impl WorkerTelemetry {
             self.sum_inference += phases.inference_s;
         }
     }
+
+    /// Records one real gather's traffic and checksum, plus the wall time
+    /// the kernel took.
+    pub(crate) fn record_gather(&mut self, outcome: &crate::memory::GatherOutcome, wall_s: f64) {
+        self.gather_bytes += outcome.bytes;
+        self.gather_rows += outcome.rows;
+        self.gather_wall_s += wall_s;
+        self.gather_checksum += outcome.checksum;
+    }
+
+    /// Records `allocs` heap allocations observed while serving one
+    /// post-warm-up batch.
+    pub(crate) fn record_hot_allocs(&mut self, allocs: u64) {
+        self.hot_allocs += allocs;
+        self.hot_samples += 1;
+    }
+
+    /// Mean achieved gather bandwidth in GB/s (0 when no real gathers ran).
+    pub fn gather_bw_gbs(&self) -> f64 {
+        if self.gather_wall_s > 0.0 {
+            self.gather_bytes as f64 / self.gather_wall_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation instrumentation.
+//
+// `CountingAlloc` wraps the system allocator and bumps a thread-local
+// counter on every `alloc`/`realloc`. Binaries that want the count install
+// it with `#[global_allocator]` (the alloc-guard test and the runtime
+// benches do); everywhere else `thread_allocs()` just reads 0 and workers
+// report `hot_allocs = 0` with `hot_samples` still counted, which the
+// report layer treats as "not instrumented" when no allocator is
+// installed. The counter is a `const`-initialized `Cell` so reading or
+// bumping it can never itself allocate or run a destructor inside the
+// allocator.
+
+thread_local! {
+    static ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Heap allocations performed by the calling thread since it started, as
+/// counted by [`CountingAlloc`] (always 0 unless a binary installs it as
+/// the global allocator).
+pub fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// A system-allocator wrapper that counts allocations per thread.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: hercules_runtime::telemetry::CountingAlloc =
+///     hercules_runtime::telemetry::CountingAlloc;
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +338,44 @@ mod tests {
         t.record_cpu(SimTime::ZERO, SimDuration::ZERO, 32, &cost(1));
         assert_eq!(t.idle_weighted, 0.0);
         assert_eq!(t.busy_weight, 0.0);
+    }
+
+    #[test]
+    fn measured_service_overrides_modeled_latency() {
+        let mut t = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1));
+        t.record_cpu_measured(
+            SimTime::from_millis(10),
+            SimDuration::ZERO,
+            32,
+            &cost(4),
+            SimDuration::from_millis(9),
+        );
+        assert_eq!(t.busy, SimDuration::from_millis(9));
+        // Resource accounting still follows the model.
+        let core_s: f64 = t.buckets.cpu_core_s.iter().sum();
+        assert!((core_s - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gather_and_alloc_accounting() {
+        let mut t = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1));
+        let outcome = crate::memory::GatherOutcome {
+            bytes: 2_000_000_000,
+            rows: 1000,
+            checksum: 3.5,
+        };
+        t.record_gather(&outcome, 1.0);
+        t.record_gather(&outcome, 1.0);
+        assert_eq!(t.gather_bytes, 4_000_000_000);
+        assert_eq!(t.gather_rows, 2000);
+        assert!((t.gather_bw_gbs() - 2.0).abs() < 1e-12);
+        assert!((t.gather_checksum - 7.0).abs() < 1e-12);
+        t.record_hot_allocs(0);
+        t.record_hot_allocs(3);
+        assert_eq!(t.hot_allocs, 3);
+        assert_eq!(t.hot_samples, 2);
+        // No counting allocator installed in unit tests.
+        assert_eq!(thread_allocs(), 0);
     }
 
     #[test]

@@ -417,6 +417,7 @@ pub(crate) fn run(
         shed: exec.admission.shed(),
         in_flight: table.in_flight(),
         wall_elapsed_s: None,
+        arena: None,
     };
     let workers: Vec<WorkerTelemetry> = exec
         .front_telem

@@ -9,6 +9,22 @@
 //! `time_scale`), so the report is directly comparable with virtual-clock
 //! and simulator runs of the same scenario.
 //!
+//! Under [`GatherMode::Real`](crate::config::GatherMode::Real) the front
+//! pool goes further than timing emulation: each sub-query performs an
+//! actual Gather-and-Reduce against a resident synthetic embedding arena
+//! (see [`memory`](crate::memory)), so the sparse phase — the part of
+//! recommendation inference that is memory-bound (§IV-B) — costs whatever
+//! this machine's memory system charges for it. The modeled cost's dense
+//! share is still busy-waited, and the *measured* service time is what
+//! enters the latency accounting.
+//!
+//! The per-batch path is allocation-free in steady state: service costs
+//! are Arc-shared from a pre-warmed memo cache, sub-query splitting
+//! iterates without collecting, dispatch queues pre-reserve their bound,
+//! and fused-batch buffers recycle through a freelist. Binaries that
+//! install [`CountingAlloc`](crate::telemetry::CountingAlloc) get the
+//! per-worker residual counted into the report.
+//!
 //! Shutdown cascades stage by stage: the dispatcher closes the ingress
 //! queue after the last arrival, each pool drains and exits, and the main
 //! thread closes the next stage's queue once every upstream producer has
@@ -17,18 +33,22 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use hercules_common::rng::SimRng;
 use hercules_common::units::{Qps, SimDuration, SimTime};
-use hercules_hw::cost::pcie_transfer_time;
+use hercules_hw::cost::{pcie_transfer_time, BatchCost};
 use hercules_hw::server::ServerSpec;
-use hercules_sim::{split_sizes, Topology};
+use hercules_sim::{split_iter, Topology};
+use hercules_workload::query::Query;
 
 use crate::admission::AdmissionController;
+use crate::affinity::{self, CorePlan};
 use crate::config::{ClockMode, RuntimeConfig};
+use crate::memory::{EmbeddingArena, GatherScratch};
 use crate::queue::{PopResult, SyncQueue};
 use crate::report::{assemble, RunTotals, RuntimeReport};
 use crate::serve::{arrivals, RunWindow};
 use crate::stage::{BackKind, QueryTable, Stages, Sub};
-use crate::telemetry::{StageKind, WorkerTelemetry};
+use crate::telemetry::{thread_allocs, StageKind, WorkerTelemetry};
 
 /// The calibrated wall clock: converts between virtual time and wall
 /// instants, and burns service time by spinning (sleeping only the coarse
@@ -39,8 +59,15 @@ struct WallClock {
     scale: f64,
 }
 
-/// Below this wall wait, spin; above it, sleep the prefix then spin.
+/// Below this wall wait, spin; above it, sleep the coarse prefix.
 const SPIN_THRESHOLD: Duration = Duration::from_micros(150);
+
+/// Between [`SPIN_THRESHOLD`] and this, yield the core between checks
+/// instead of pure spinning: with more workers than cores (and always on
+/// small machines) a pure spin steals cycles from the worker whose service
+/// burn we are waiting behind. Under this bound, spin — a yield's
+/// round-trip through the scheduler costs more than the remaining wait.
+const YIELD_THRESHOLD: Duration = Duration::from_micros(20);
 
 impl WallClock {
     fn start(scale: f64) -> Self {
@@ -87,16 +114,93 @@ fn spin_until(target: Instant) {
         };
         if left > SPIN_THRESHOLD {
             std::thread::sleep(left - SPIN_THRESHOLD);
+        } else if left > YIELD_THRESHOLD {
+            std::thread::yield_now();
         } else {
             std::hint::spin_loop();
         }
     }
 }
 
-/// A fused batch in flight from the batcher to a GPU context.
+/// A fused batch in flight from the batcher to a GPU context. Its `subs`
+/// buffer is recycled through a freelist, so steady-state batching
+/// allocates nothing.
 struct GpuBatch {
     subs: Vec<Sub>,
     items: u32,
+}
+
+/// Batches served before a worker starts sampling its hot-path allocation
+/// counter: the first iterations legitimately allocate (scratch high-water
+/// marks, queue rings reaching depth, freelist population). Kept small so
+/// wide pools — a 10-worker front stage splits a short run's batches 10
+/// ways — still reach the sampled regime within a bench horizon.
+const HOT_WARMUP: u64 = 16;
+
+/// The share of a modeled batch cost that is *not* sparse gathering, as a
+/// duration: what the front pool still busy-waits when the gather itself
+/// runs for real. Falls back to the full latency when the oracle exposes
+/// no per-op breakdown (synthetic test oracles).
+fn dense_residual(cost: &BatchCost) -> SimDuration {
+    let total: f64 = cost.per_op.iter().map(|o| o.duration.as_secs_f64()).sum();
+    if total <= 0.0 {
+        return cost.latency;
+    }
+    let sparse: f64 = cost
+        .per_op
+        .iter()
+        .filter(|o| o.sparse)
+        .map(|o| o.duration.as_secs_f64())
+        .sum();
+    cost.latency.mul_f64((1.0 - sparse / total).clamp(0.0, 1.0))
+}
+
+/// Touches every batch size the run can dispatch through each stage's
+/// memoized cost oracle, so steady-state `service_cost_shared` calls are
+/// pure cache hits (a cold miss mid-run would heap-allocate a `BatchCost`
+/// on the serving path).
+fn prewarm_oracles(stages: &Stages, queries: &[Query]) {
+    let mut sizes: Vec<u32> = Vec::new();
+    for q in queries {
+        for s in split_iter(q.size, stages.split_batch) {
+            if !sizes.contains(&s) {
+                sizes.push(s);
+            }
+        }
+    }
+    for &s in &sizes {
+        if let Some((oracle, _)) = stages.front {
+            let _ = oracle.service_cost_shared(s);
+        }
+        match stages.back {
+            BackKind::Host { oracle, .. } => {
+                let _ = oracle.service_cost_shared(s);
+            }
+            BackKind::Gpu {
+                oracle,
+                fusion_limit: None,
+                ..
+            } => {
+                let _ = oracle.service_cost_shared(s);
+            }
+            _ => {}
+        }
+    }
+    if let BackKind::Gpu {
+        oracle,
+        fusion_limit: Some(limit),
+        ..
+    } = stages.back
+    {
+        // Fused batches can land anywhere in (0, limit]; one probe per
+        // quantization bucket warms them all.
+        let mut items = 1u32;
+        while items <= limit {
+            let _ = oracle.service_cost_shared(items);
+            items = items.saturating_add(32);
+        }
+        let _ = oracle.service_cost_shared(limit);
+    }
 }
 
 /// Runs the threaded executor and assembles the report.
@@ -105,6 +209,7 @@ pub(crate) fn run(
     server: &ServerSpec,
     cfg: &RuntimeConfig,
     offered: Qps,
+    arena: Option<&EmbeddingArena>,
 ) -> RuntimeReport {
     let ClockMode::Wall { time_scale } = cfg.clock else {
         unreachable!("wall executor only runs in wall mode");
@@ -121,6 +226,19 @@ pub(crate) fn run(
         BackKind::Gpu { ctxs, .. } => ctxs,
         _ => 0,
     };
+    let front_threads = stages.front.map_or(0, |(_, t)| t);
+    let back_threads = match stages.back {
+        BackKind::Host { threads, .. } => threads,
+        _ => 0,
+    };
+    let plan = CorePlan::plan(
+        cfg.affinity,
+        front_threads as usize,
+        back_threads as usize,
+        gpu_ctxs as usize,
+    );
+
+    prewarm_oracles(&stages, &queries);
 
     // Inter-stage queues. The ingress queue is bounded by the config;
     // internal forwards use blocking pushes (backpressure, never loss).
@@ -128,30 +246,60 @@ pub(crate) fn run(
     let fuse_q: SyncQueue<Sub> = SyncQueue::new(cfg.queue_depth);
     let back_q: SyncQueue<Sub> = SyncQueue::new(cfg.queue_depth);
     let gpu_q: SyncQueue<GpuBatch> = SyncQueue::new(gpu_ctxs.max(1) as usize * 4);
+    // Recycled `GpuBatch::subs` buffers: sized so every in-flight batch
+    // plus every context's just-finished buffer fits without drops.
+    let free_q: SyncQueue<Vec<Sub>> = SyncQueue::new(gpu_ctxs.max(1) as usize * 8);
     let pcie = Mutex::new(());
 
     let clock = WallClock::start(time_scale);
     let started = Instant::now();
     let mut workers: Vec<WorkerTelemetry> = Vec::new();
+    let mut rng_root = SimRng::seed_from(cfg.seed ^ 0xC0FE_FEED_5EED_1234);
 
     std::thread::scope(|scope| {
         // ── Worker pools ────────────────────────────────────────────────
         let mut front_handles = Vec::new();
         if let Some((oracle, threads)) = stages.front {
             for w in 0..threads {
-                let (front_q, back_q, fuse_q, table, back) =
-                    (&front_q, &back_q, &fuse_q, &table, stages.back);
+                let (front_q, back_q, fuse_q, table, back, plan) =
+                    (&front_q, &back_q, &fuse_q, &table, stages.back, &plan);
+                let mut rng = rng_root.fork();
                 front_handles.push(scope.spawn(move || {
+                    if let Some(core) = plan.front_core(w as usize) {
+                        let _ = affinity::pin_current_thread(core);
+                    }
                     let mut t = WorkerTelemetry::new(StageKind::Front, w, cfg.duration);
+                    let mut scratch = GatherScratch::with_dim(arena.map_or(0, |a| a.max_dim()));
                     while let Some(sub) = front_q.pop_wait() {
+                        let sample = t.batches >= HOT_WARMUP;
+                        let allocs_before = thread_allocs();
                         let now = clock.now();
                         let wait = now.saturating_since(sub.ready);
-                        let cost = oracle.service_cost(sub.items);
+                        let cost = oracle.service_cost_shared(sub.items);
                         table.add_queuing(&sub, wait);
-                        table.add_inference(&sub, cost.latency);
-                        t.record_cpu(now, wait, sub.items, &cost);
-                        clock.busy_wait(cost.latency);
-                        let done = clock.now();
+                        let done = match arena {
+                            Some(arena) => {
+                                // Real sparse phase: measured gather plus
+                                // the modeled dense residual. The measured
+                                // total replaces the modeled latency in
+                                // every latency-facing account.
+                                let kernel_start = Instant::now();
+                                let outcome = arena.gather(sub.items, &mut rng, &mut scratch);
+                                t.record_gather(&outcome, kernel_start.elapsed().as_secs_f64());
+                                clock.busy_wait(dense_residual(&cost));
+                                let done = clock.now();
+                                let service = done.saturating_since(now);
+                                table.add_inference(&sub, service);
+                                t.record_cpu_measured(now, wait, sub.items, &cost, service);
+                                done
+                            }
+                            None => {
+                                table.add_inference(&sub, cost.latency);
+                                t.record_cpu(now, wait, sub.items, &cost);
+                                clock.busy_wait(cost.latency);
+                                clock.now()
+                            }
+                        };
                         match back {
                             BackKind::None => {
                                 if let Some((lat, phases)) = table.complete(&sub, done) {
@@ -166,6 +314,9 @@ pub(crate) fn run(
                                 fuse_q.push_wait(Sub { ready: done, ..sub });
                             }
                         }
+                        if sample {
+                            t.record_hot_allocs(thread_allocs() - allocs_before);
+                        }
                     }
                     t
                 }));
@@ -175,13 +326,18 @@ pub(crate) fn run(
         let mut back_handles = Vec::new();
         if let BackKind::Host { oracle, threads } = stages.back {
             for w in 0..threads {
-                let (back_q, table) = (&back_q, &table);
+                let (back_q, table, plan) = (&back_q, &table, &plan);
                 back_handles.push(scope.spawn(move || {
+                    if let Some(core) = plan.back_core(w as usize) {
+                        let _ = affinity::pin_current_thread(core);
+                    }
                     let mut t = WorkerTelemetry::new(StageKind::Back, w, cfg.duration);
                     while let Some(sub) = back_q.pop_wait() {
+                        let sample = t.batches >= HOT_WARMUP;
+                        let allocs_before = thread_allocs();
                         let now = clock.now();
                         let wait = now.saturating_since(sub.ready);
-                        let cost = oracle.service_cost(sub.items);
+                        let cost = oracle.service_cost_shared(sub.items);
                         table.add_queuing(&sub, wait);
                         table.add_inference(&sub, cost.latency);
                         t.record_cpu(now, wait, sub.items, &cost);
@@ -190,6 +346,9 @@ pub(crate) fn run(
                         if let Some((lat, phases)) = table.complete(&sub, done) {
                             let in_window = window.measures(table.arrival(sub.query));
                             t.record_completion(lat, &phases, in_window);
+                        }
+                        if sample {
+                            t.record_hot_allocs(thread_allocs() - allocs_before);
                         }
                     }
                     t
@@ -209,17 +368,17 @@ pub(crate) fn run(
         {
             // The dynamic batcher: fill a fused batch up to the limit, or
             // flush once its head has waited out the batch policy.
-            let (fuse_q, gpu_q, table, pcie) = (&fuse_q, &gpu_q, &table, &pcie);
+            let (fuse_q, gpu_q, free_q, table, pcie, plan) =
+                (&fuse_q, &gpu_q, &free_q, &table, &pcie, &plan);
             batcher_handle = Some(scope.spawn(move || {
                 let mut pending: Option<Sub> = None;
                 while let Some(first) = pending.take().or_else(|| fuse_q.pop_wait()) {
+                    let mut subs = free_q.try_pop().unwrap_or_else(|| Vec::with_capacity(8));
+                    subs.push(first);
                     let Some(limit) = fusion_limit else {
                         // Fusion off: one sub-query per launch.
                         let items = first.items;
-                        gpu_q.push_wait(GpuBatch {
-                            subs: vec![first],
-                            items,
-                        });
+                        gpu_q.push_wait(GpuBatch { subs, items });
                         continue;
                     };
                     // The flush deadline is anchored to the head sub's
@@ -227,8 +386,7 @@ pub(crate) fn run(
                     // virtual clock) — not to when the batcher got around
                     // to popping it.
                     let deadline = clock.wall_target(first.ready + cfg.batch.max_delay);
-                    let mut subs = vec![first];
-                    let mut items = subs[0].items;
+                    let mut items = first.items;
                     while items < limit {
                         match fuse_q.pop_deadline(deadline) {
                             PopResult::Item(next) => {
@@ -249,8 +407,13 @@ pub(crate) fn run(
 
             for ctx in 0..ctxs {
                 gpu_handles.push(scope.spawn(move || {
+                    if let Some(core) = plan.gpu_core(ctx as usize) {
+                        let _ = affinity::pin_current_thread(core);
+                    }
                     let mut t = WorkerTelemetry::new(StageKind::Gpu, ctx, cfg.duration);
                     while let Some(batch) = gpu_q.pop_wait() {
+                        let sample = t.batches >= HOT_WARMUP;
+                        let allocs_before = thread_allocs();
                         let bytes = bytes_per_item * batch.items as f64;
                         let load_dur = pcie_transfer_time(bytes, gpu, 1);
                         // The PCIe link is serialized across contexts.
@@ -261,7 +424,7 @@ pub(crate) fn run(
                             clock.busy_wait(load_dur);
                             load_start
                         };
-                        let cost = oracle.service_cost(batch.items);
+                        let cost = oracle.service_cost_shared(batch.items);
                         let head_wait = load_start
                             .saturating_since(batch.subs.first().map_or(load_start, |s| s.ready));
                         let compute_start = clock.now();
@@ -277,6 +440,14 @@ pub(crate) fn run(
                                 let in_window = window.measures(table.arrival(sub.query));
                                 t.record_completion(lat, &phases, in_window);
                             }
+                        }
+                        // Recycle the batch buffer; a full freelist just
+                        // lets this one drop.
+                        let mut subs = batch.subs;
+                        subs.clear();
+                        let _ = free_q.try_push_all(std::iter::once(subs));
+                        if sample {
+                            t.record_hot_allocs(thread_allocs() - allocs_before);
                         }
                     }
                     t
@@ -295,10 +466,10 @@ pub(crate) fn run(
             if !admission.admit(ingress.len()) {
                 continue;
             }
-            let sizes = split_sizes(q.size, stages.split_batch);
+            let sizes = split_iter(q.size, stages.split_batch);
             let n_subs = sizes.len() as u32;
             table.admit(i as u32, n_subs);
-            let subs = sizes.into_iter().map(|items| Sub {
+            let subs = sizes.map(|items| Sub {
                 query: i as u32,
                 items,
                 n_subs,
@@ -340,6 +511,7 @@ pub(crate) fn run(
         shed: admission.shed(),
         in_flight: table.in_flight(),
         wall_elapsed_s: Some(started.elapsed().as_secs_f64()),
+        arena: arena.map(|a| (a.resident().as_bytes(), a.is_compacted())),
     };
     assemble(server, cfg, workers, totals)
 }

@@ -1,0 +1,57 @@
+//! Zero-allocation guard for the wall-clock hot path.
+//!
+//! Installs [`CountingAlloc`] as this binary's global allocator and runs a
+//! real-gather wall-clock serve. Workers snapshot the thread-local
+//! allocation counter around every post-warm-up batch; the report sums
+//! the residuals. This test is the regression fence ISSUE item 5 asks
+//! for: any future change that puts the allocator back on the per-query
+//! path (cloning a `BatchCost`, growing a queue, collecting split sizes)
+//! fails here with the exact count.
+
+use hercules_common::units::{Qps, SimDuration};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{ClockMode, CountingAlloc, GatherMode, RuntimeConfig, ServingRuntime};
+use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn serve(gather: GatherMode) -> hercules_runtime::RuntimeReport {
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Small);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuModel {
+        threads: 2,
+        workers: 1,
+        batch: 64,
+    };
+    let mut sim = SimConfig::quick(17);
+    sim.duration = SimDuration::from_millis(1200);
+    let cfg = RuntimeConfig::from_sim(&sim)
+        .with_clock(ClockMode::Wall { time_scale: 0.25 })
+        .with_gather(gather);
+    let rt = ServingRuntime::build(&model, server, &plan, cfg, &NmpLutCache::new())
+        .expect("plan must be feasible");
+    rt.serve(Qps(150.0))
+}
+
+#[test]
+fn steady_state_hot_path_allocates_nothing() {
+    for gather in [GatherMode::Synthetic, GatherMode::real_mib(32)] {
+        let report = serve(gather);
+        assert!(report.conserves());
+        assert!(
+            report.hot_samples > 0,
+            "{gather:?}: run too short to reach the post-warm-up regime"
+        );
+        assert_eq!(
+            report.hot_allocs,
+            0,
+            "{gather:?}: {} heap allocations leaked onto the hot path across {} sampled \
+             batches ({:.3}/batch)",
+            report.hot_allocs,
+            report.hot_samples,
+            report.allocs_per_sample()
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Properties of the real-gather wall-clock path.
+//!
+//! - With one front worker and no shedding, the gather traffic (bytes,
+//!   rows, checksum) is a pure function of the seed: two runs reproduce it
+//!   bit-for-bit even though wall timing differs.
+//! - Both gather modes satisfy the conservation law.
+//! - The virtual clock's report is identical whatever the gather config
+//!   says: gather execution is a wall-clock concern only.
+//! - The arena's budget fallback is visible in the report.
+
+use hercules_common::units::{MemBytes, Qps, SimDuration};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{ClockMode, GatherMode, PinPolicy, RuntimeConfig, ServingRuntime};
+use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig};
+
+fn cfg(seed: u64) -> RuntimeConfig {
+    let mut sim = SimConfig::quick(seed);
+    sim.duration = SimDuration::from_millis(800);
+    RuntimeConfig::from_sim(&sim)
+}
+
+fn runtime(threads: u32, cfg: RuntimeConfig) -> ServingRuntime {
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Small);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuModel {
+        threads,
+        workers: 1,
+        batch: 256,
+    };
+    ServingRuntime::build(&model, server, &plan, cfg, &NmpLutCache::new())
+        .expect("plan must be feasible")
+}
+
+#[test]
+fn real_gather_traffic_reproduces_across_runs() {
+    let wall_real = cfg(11)
+        .with_clock(ClockMode::Wall { time_scale: 0.25 })
+        .with_gather(GatherMode::real_mib(48));
+    // Low rate + single worker: no shedding, FIFO service, so the gather
+    // draw sequence is timing-independent.
+    let a = runtime(1, wall_real).serve(Qps(20.0));
+    let b = runtime(1, wall_real).serve(Qps(20.0));
+    let ga = a.gather.expect("real mode must report gather stats");
+    let gb = b.gather.expect("real mode must report gather stats");
+    assert!(ga.bytes > 0 && ga.rows > 0, "gathers must touch memory");
+    assert!(ga.checksum.is_finite() && ga.checksum != 0.0);
+    assert_eq!(ga.bytes, gb.bytes);
+    assert_eq!(ga.rows, gb.rows);
+    assert_eq!(ga.checksum.to_bits(), gb.checksum.to_bits());
+    // Wall time is the part that may differ; bandwidth must be positive.
+    assert!(ga.achieved_gbs() > 0.0);
+
+    // A different seed draws a different stream and arena fill.
+    let other = cfg(12)
+        .with_clock(ClockMode::Wall { time_scale: 0.25 })
+        .with_gather(GatherMode::real_mib(48));
+    let c = runtime(1, other).serve(Qps(20.0));
+    let gc = c.gather.expect("real mode must report gather stats");
+    assert_ne!(ga.checksum.to_bits(), gc.checksum.to_bits());
+}
+
+#[test]
+fn both_gather_modes_conserve() {
+    for gather in [GatherMode::Synthetic, GatherMode::real_mib(48)] {
+        let cfg = cfg(7)
+            .with_clock(ClockMode::Wall { time_scale: 0.25 })
+            .with_gather(gather);
+        let report = runtime(2, cfg).serve(Qps(60.0));
+        assert!(
+            report.conserves(),
+            "{gather:?}: arrivals {} != completed {} + shed {} + in-flight {}",
+            report.sim.total_arrivals,
+            report.sim.completed_total,
+            report.shed,
+            report.sim.in_flight_at_horizon
+        );
+        assert!(report.sim.completed_total > 0);
+        assert_eq!(report.gather.is_some(), gather.is_real());
+        if let Some(g) = report.gather {
+            assert!(g.bytes > 0);
+            assert!(g.resident_bytes > 0);
+        }
+    }
+}
+
+#[test]
+fn virtual_clock_ignores_gather_config() {
+    let base = cfg(21);
+    let synthetic = runtime(2, base).serve(Qps(120.0));
+    let real = runtime(
+        2,
+        base.with_gather(GatherMode::real_mib(32))
+            .with_affinity(PinPolicy::Compact),
+    )
+    .serve(Qps(120.0));
+    assert!(synthetic.gather.is_none() && real.gather.is_none());
+    assert_eq!(synthetic.sim.completed_total, real.sim.completed_total);
+    assert_eq!(synthetic.sim.total_arrivals, real.sim.total_arrivals);
+    assert_eq!(synthetic.sim.p50, real.sim.p50);
+    assert_eq!(synthetic.sim.p99, real.sim.p99);
+    assert_eq!(synthetic.sim.mean_latency, real.sim.mean_latency);
+    assert_eq!(
+        synthetic.sim.mean_power.value().to_bits(),
+        real.sim.mean_power.value().to_bits()
+    );
+    assert_eq!(synthetic.shed, real.shed);
+}
+
+#[test]
+fn tiny_budget_compacts_and_reports_it() {
+    let budget = MemBytes::from_mib(8);
+    let cfg = cfg(5)
+        .with_clock(ClockMode::Wall { time_scale: 0.25 })
+        .with_gather(GatherMode::Real { budget });
+    let report = runtime(1, cfg).serve(Qps(20.0));
+    let g = report.gather.expect("gather stats present");
+    assert!(g.compacted, "8 MiB cannot hold RMC1-small tables in full");
+    // Resident size may exceed the budget only by the per-table row floor.
+    assert!(g.resident_bytes > 0);
+    assert!(
+        g.resident_bytes <= budget.as_bytes() + 16 * 4096 * 512,
+        "resident {} far exceeds budget {}",
+        g.resident_bytes,
+        budget.as_bytes()
+    );
+}
+
+#[test]
+fn pinned_real_gather_run_completes() {
+    // Pinning is best-effort: on a core-restricted machine most pins fail
+    // and workers run wherever the OS puts them. The run must still be
+    // correct.
+    let cfg = cfg(3)
+        .with_clock(ClockMode::Wall { time_scale: 0.25 })
+        .with_gather(GatherMode::real_mib(32))
+        .with_affinity(PinPolicy::Compact);
+    let report = runtime(2, cfg).serve(Qps(40.0));
+    assert!(report.conserves());
+    assert!(report.sim.completed_total > 0);
+    assert!(report.gather.expect("gather stats").bytes > 0);
+}

@@ -86,20 +86,46 @@ impl<E> Ord for HeapEntry<E> {
 /// Shared by the dedicated engine, the multi-tenant engine, and the live
 /// serving runtime, so every execution backend forms identical sub-queries.
 pub fn split_sizes(size: u32, split_batch: Option<u32>) -> Vec<u32> {
-    match split_batch {
-        None => vec![size],
-        Some(d) => {
-            let mut sizes = Vec::new();
-            let mut left = size;
-            while left > 0 {
-                let take = left.min(d);
-                sizes.push(take);
-                left -= take;
-            }
-            sizes
+    split_iter(size, split_batch).collect()
+}
+
+/// Allocation-free form of [`split_sizes`]: yields the identical sub-query
+/// sizes as a `Copy` exact-size iterator, so the wall-clock dispatcher can
+/// form sub-queries on its hot path without touching the heap.
+pub fn split_iter(size: u32, split_batch: Option<u32>) -> SplitIter {
+    let chunk = match split_batch {
+        None => size.max(1),
+        Some(d) => d.max(1),
+    };
+    SplitIter { left: size, chunk }
+}
+
+/// Iterator behind [`split_iter`]. A zero-size query yields nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitIter {
+    left: u32,
+    chunk: u32,
+}
+
+impl Iterator for SplitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.left == 0 {
+            return None;
         }
+        let take = self.left.min(self.chunk);
+        self.left -= take;
+        Some(take)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.left as usize).div_ceil(self.chunk as usize);
+        (n, Some(n))
     }
 }
+
+impl ExactSizeIterator for SplitIter {}
 
 // `pub(crate)` so the multi-tenant engine (`crate::colocation`) shares the
 // exact per-query record and power-bucket accounting of the dedicated path.

@@ -55,7 +55,7 @@ pub struct StageService {
     graph: Graph,
     tables: Vec<EmbeddingTableSpec>,
     device: StageDevice,
-    cache: Mutex<HashMap<u32, BatchCost>>,
+    cache: Mutex<HashMap<u32, Arc<BatchCost>>>,
 }
 
 impl StageService {
@@ -71,9 +71,16 @@ impl StageService {
     /// Cost of one batch of `items` through this stage (quantized and
     /// memoized).
     pub fn cost(&self, items: u32) -> BatchCost {
+        (*self.cost_shared(items)).clone()
+    }
+
+    /// [`StageService::cost`] behind shared ownership: a cache hit clones
+    /// only the `Arc`, so the runtime's dispatch loop stays heap-allocation
+    /// free once every quantized batch size has been priced.
+    pub fn cost_shared(&self, items: u32) -> Arc<BatchCost> {
         let q = quantize(items);
         if let Some(c) = self.cache.lock().expect("stage cache poisoned").get(&q) {
-            return c.clone();
+            return Arc::clone(c);
         }
         let cost = match &self.device {
             StageDevice::Cpu {
@@ -99,16 +106,25 @@ impl StageService {
                 gpu_batch_cost(&self.graph, q as u64, &self.tables, &cfg)
             }
         };
+        let cost = Arc::new(cost);
         self.cache
             .lock()
             .expect("stage cache poisoned")
-            .insert(q, cost.clone());
+            .insert(q, Arc::clone(&cost));
         cost
     }
 
     /// The stage's graph (for inspection/tests).
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The embedding tables this stage's graph gathers from (for GPU
+    /// hot-partition plans, the front stage sees pooling-scaled *cold*
+    /// shares). The live runtime sizes its synthetic gather arenas from
+    /// these specs.
+    pub fn tables(&self) -> &[EmbeddingTableSpec] {
+        &self.tables
     }
 }
 
@@ -119,6 +135,10 @@ impl StageService {
 impl hercules_hw::cost::ServiceOracle for StageService {
     fn service_cost(&self, items: u32) -> BatchCost {
         self.cost(items)
+    }
+
+    fn service_cost_shared(&self, items: u32) -> Arc<BatchCost> {
+        self.cost_shared(items)
     }
 }
 

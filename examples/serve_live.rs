@@ -7,13 +7,23 @@
 //! report. A virtual-clock run of the identical scenario prints alongside,
 //! showing the deterministic executor and the threaded one agree.
 //!
-//! Run with: `cargo run --release --example serve_live`
-//! (set `HERCULES_SMOKE=1` for a tiny CI-sized horizon)
+//! Run with: `cargo run --release --example serve_live [-- --gather real|synthetic]`
+//!
+//! With `--gather real` (or `HERCULES_GATHER=real`) the wall-clock front
+//! pool performs genuine memory-bound embedding gathers against a resident
+//! synthetic arena instead of busy-waiting the modeled sparse time, and
+//! the example prints the measured gather bandwidth next to the cost
+//! model's. `HERCULES_GATHER_BUDGET_MB` caps the arena (tables compact to
+//! fit). Set `HERCULES_SMOKE=1` for a tiny CI-sized horizon.
 
-use hercules::common::units::{Qps, SimDuration};
+use hercules::common::units::{MemBytes, Qps, SimDuration};
+use hercules::hw::calib;
+use hercules::hw::cost::modeled_gather_bw_gbs;
 use hercules::hw::server::ServerType;
 use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
-use hercules::runtime::{AdmissionPolicy, ClockMode, RuntimeConfig, RuntimeReport, ServingRuntime};
+use hercules::runtime::{
+    AdmissionPolicy, ClockMode, GatherMode, PinPolicy, RuntimeConfig, RuntimeReport, ServingRuntime,
+};
 use hercules::sim::{NmpLutCache, PlacementPlan, SimConfig, SlaSpec};
 
 fn print_report(tag: &str, r: &RuntimeReport) {
@@ -53,8 +63,40 @@ fn print_report(tag: &str, r: &RuntimeReport) {
     }
 }
 
+/// `--gather real|synthetic` from argv, falling back to `HERCULES_GATHER`.
+fn gather_arg() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--gather" => return args.next().unwrap_or_default(),
+            _ if a.starts_with("--gather=") => {
+                return a["--gather=".len()..].to_string();
+            }
+            _ => {}
+        }
+    }
+    std::env::var("HERCULES_GATHER").unwrap_or_default()
+}
+
 fn main() {
     let smoke = std::env::var_os("HERCULES_SMOKE").is_some();
+    let gather = match gather_arg().as_str() {
+        "real" => {
+            let default_mb = if smoke { 64 } else { 1024 };
+            let budget_mb = std::env::var("HERCULES_GATHER_BUDGET_MB")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(default_mb);
+            GatherMode::Real {
+                budget: MemBytes::from_mib(budget_mb),
+            }
+        }
+        "" | "synthetic" => GatherMode::Synthetic,
+        other => {
+            eprintln!("unknown --gather mode {other:?}; expected real|synthetic");
+            std::process::exit(2);
+        }
+    };
 
     // The quickstart scenario: RMC1 production on a T2 under the canonical
     // CPU plan, against its paper SLA.
@@ -92,12 +134,42 @@ fn main() {
     let base =
         RuntimeConfig::from_sim(&sim_cfg).with_admission(AdmissionPolicy::for_sla(&sla, 1.0));
 
-    // 1. Wall clock: real worker threads, busy-wait service, live queues.
-    let wall_cfg = base.with_clock(ClockMode::wall());
+    // 1. Wall clock: real worker threads, live queues, and — under
+    //    `--gather real` — genuine memory-bound embedding gathers on
+    //    compactly-pinned front workers.
+    let wall_cfg = base
+        .with_clock(ClockMode::wall())
+        .with_gather(gather)
+        .with_affinity(if gather.is_real() {
+            PinPolicy::Compact
+        } else {
+            PinPolicy::None
+        });
     let rt = ServingRuntime::build(&model, server.clone(), &plan, wall_cfg, &luts)
         .expect("quickstart plan is feasible on a T2");
     let wall = rt.serve(offered);
     print_report("wall clock", &wall);
+    if let Some(g) = &wall.gather {
+        let per_stream = g.achieved_gbs();
+        let modeled = modeled_gather_bw_gbs(&server, 10, 2);
+        let aggregate = per_stream * 10.0;
+        println!(
+            "{:<14} real gathers: {:.0} MiB resident{} | {:.2} GB read in-kernel | measured {:.2} GB/s per stream (~{:.1} GB/s aggregate) vs modeled {:.1} GB/s",
+            "",
+            g.resident_bytes as f64 / (1u64 << 20) as f64,
+            if g.compacted { " (compacted)" } else { "" },
+            g.bytes as f64 / 1e9,
+            per_stream,
+            aggregate,
+            modeled,
+        );
+        println!(
+            "{:<14} implied DDR gather efficiency {:.2} (calibrated constant {:.2})",
+            "",
+            calib::implied_gather_efficiency(aggregate, server.mem.peak_bw_gbs),
+            calib::DDR_GATHER_EFFICIENCY,
+        );
+    }
     println!();
 
     // 2. Virtual clock: the same components driven deterministically.
