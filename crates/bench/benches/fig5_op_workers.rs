@@ -28,6 +28,7 @@ fn main() {
                 workers,
                 colocated_threads: 4,
                 nmp: None,
+                cache: None,
             };
             let cost = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg);
             let total_busy: f64 = cost.per_op.iter().map(|o| o.duration.as_secs_f64()).sum();

@@ -67,6 +67,7 @@ fn bench_cost_model(c: &mut Criterion) {
         workers: 2,
         colocated_threads: 10,
         nmp: None,
+        cache: None,
     };
     c.bench_function("cpu_batch_cost_rmc2_96tables", |b| {
         b.iter(|| black_box(cpu_batch_cost(&model.graph, 256, &model.tables, &cfg)))

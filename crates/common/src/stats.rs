@@ -433,6 +433,19 @@ impl LatencyHistogram {
     pub fn resolution(&self) -> f64 {
         self.ratio
     }
+
+    /// Observations at or beyond the histogram's upper edge, clamped into
+    /// the final overflow bucket.
+    ///
+    /// Inside the configured range a quantile is within one bucket width
+    /// of the exact order statistic; overflow samples are resolved only by
+    /// the observed maximum, so a non-zero count here means the extreme
+    /// tail is coarser than [`resolution`](Self::resolution) suggests.
+    /// Reports surface this count rather than silently under-reporting.
+    /// Derived from the bucket counts, it merges exactly like they do.
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[self.counts.len() - 1]
+    }
 }
 
 /// A log-spaced histogram for printing distribution shapes.
@@ -673,6 +686,37 @@ mod tests {
         assert_eq!(total, 5);
         // Overflow bucket holds the 5000.0 observation.
         assert_eq!(buckets.last().unwrap().2, 1);
+    }
+
+    #[test]
+    fn latency_histogram_overflow_is_counted_and_merges_exactly() {
+        // Range [1ms, 1s): in-range samples never touch the overflow
+        // bucket; samples at or past the upper edge all land there.
+        let mut a = LatencyHistogram::new(1e-3, 1.0, 64);
+        for x in [1e-3, 0.05, 0.999] {
+            a.record(x);
+        }
+        assert_eq!(a.overflow_count(), 0);
+        a.record(1.0);
+        a.record(50.0);
+        assert_eq!(a.overflow_count(), 2);
+        // Sub-range samples clamp into bucket 0, not overflow.
+        a.record(1e-9);
+        assert_eq!(a.overflow_count(), 2);
+
+        // Overflow merges exactly and commutes, like every bucket count.
+        let mut b = LatencyHistogram::new(1e-3, 1.0, 64);
+        b.record(7.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.overflow_count(), 3);
+        assert_eq!(ba.overflow_count(), 3);
+        assert_eq!(ab.quantile(1.0), ba.quantile(1.0));
+        // The extreme tail resolves to the observed max, which the
+        // overflow count flags as bucket-unresolved.
+        assert_eq!(ab.quantile(1.0), Some(50.0));
     }
 
     #[test]

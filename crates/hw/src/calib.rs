@@ -91,6 +91,14 @@ pub const TENANT_DERATE_CEILING: f64 = 1.5;
 /// (see `cost::colocation_derate`).
 pub const TENANT_INTENSITY_FLOOR: f64 = 0.45;
 
+/// Service cost of a hot-tier (cache-resident) embedding row gather as a
+/// fraction of the cold-tier DRAM gather cost. Hot shards live in the LLC
+/// and near-memory buffers of the gathering core, so a hit avoids the DRAM
+/// round trip but still pays index arithmetic, pooling arithmetic, and the
+/// (much faster) on-chip access — measured LLC-resident gather kernels run
+/// at roughly 5–8x the DRAM-bound rate, hence ~0.15 of the cold cost.
+pub const CACHE_HIT_COST_RATIO: f64 = 0.15;
+
 /// CPU idle power as a fraction of TDP.
 pub const CPU_IDLE_FRACTION: f64 = 0.30;
 

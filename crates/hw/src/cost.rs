@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use hercules_common::units::{Joules, SimDuration};
+use hercules_common::units::{Joules, MemBytes, SimDuration};
 use hercules_model::graph::Graph;
 use hercules_model::op::OpKind;
 use hercules_model::table::EmbeddingTableSpec;
@@ -32,6 +32,11 @@ pub struct CpuExecConfig<'a> {
     /// NMP lookup tables when the server has NMP memory (routes reduced
     /// sparse lookups to the DIMM-side units).
     pub nmp: Option<&'a NmpLutSet>,
+    /// Embedding-tier cache plan when the server provisions a hot tier
+    /// (`ServerSpec::cache`); hits are priced at
+    /// [`calib::CACHE_HIT_COST_RATIO`] of the DRAM gather cost and misses
+    /// additionally pay the cold-tier penalty.
+    pub cache: Option<&'a CacheModel>,
 }
 
 /// Execution context for one GPU inference thread (model co-location via
@@ -42,6 +47,150 @@ pub struct GpuExecConfig<'a> {
     pub gpu: &'a GpuSpec,
     /// Co-located model instances sharing the GPU.
     pub colocated: u32,
+}
+
+/// Provisioning of the embedding-tier hot cache: how much fast memory each
+/// gathering worker dedicates to popular rows, and what a miss costs
+/// beyond the ordinary DRAM gather.
+///
+/// The hot tier models an LLC-resident / near-core shard of each table's
+/// most popular rows (the HugeCTR-style tiered parameter server exploits
+/// exactly this Zipf skew). The *cold* tier defaults to local DRAM —
+/// `cold_miss_penalty == ZERO` — in which case a miss costs what every
+/// gather costs today; a non-zero penalty models a cold tier behind a
+/// slower medium (remote host, SSD-backed parameter server), which is what
+/// makes table sets larger than one server's DRAM servable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSpec {
+    /// Hot-tier capacity *per gathering worker* (each worker keeps its own
+    /// shard, placed on its core at first touch).
+    pub capacity: MemBytes,
+    /// Extra service time charged per missed row on top of the DRAM gather
+    /// cost. `ZERO` means the cold tier is local DRAM.
+    pub cold_miss_penalty: SimDuration,
+}
+
+impl CacheSpec {
+    /// A per-worker hot tier of `mib` MiB with a DRAM cold tier.
+    pub fn per_worker_mib(mib: u64) -> CacheSpec {
+        CacheSpec {
+            capacity: MemBytes::from_mib(mib),
+            cold_miss_penalty: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the per-missed-row cold-tier penalty.
+    pub fn with_cold_miss_penalty(mut self, penalty: SimDuration) -> Self {
+        self.cold_miss_penalty = penalty;
+        self
+    }
+}
+
+/// The capacity plan for one table's hot shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableCachePlan {
+    /// Rows of this table resident in the hot tier.
+    pub hot_rows: u64,
+    /// Predicted fraction of row accesses served by the hot tier
+    /// (Zipf mass of the `hot_rows` most popular rows).
+    pub hit_rate: f64,
+}
+
+/// Per-table hit-rate prediction for a [`CacheSpec`] over a model's tables.
+///
+/// Capacity is split across tables by an iterative proportional fill
+/// weighted by each table's DRAM traffic share (`avg_pooling x row_bytes`):
+/// tables that saturate (every row hot) release their slack to the rest.
+/// Caching the most popular rows is optimal under Zipf popularity, so each
+/// shard's predicted hit rate is the popularity mass of its top rows —
+/// the same quantity the Fig. 10a embedding partitioner maximizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheModel {
+    spec: CacheSpec,
+    tables: Vec<TableCachePlan>,
+    overall: f64,
+}
+
+impl CacheModel {
+    /// Plans hot-shard capacities for `tables` under `spec`.
+    pub fn plan(spec: CacheSpec, tables: &[EmbeddingTableSpec]) -> CacheModel {
+        let weight = |t: &EmbeddingTableSpec| t.avg_pooling() as f64 * t.row_bytes() as f64;
+        let mut hot = vec![0u64; tables.len()];
+        let mut remaining = spec.capacity.as_bytes();
+        let mut open: Vec<usize> = (0..tables.len()).collect();
+        loop {
+            open.retain(|&i| hot[i] < tables[i].rows);
+            let total_w: f64 = open.iter().map(|&i| weight(&tables[i])).sum();
+            if remaining == 0 || open.is_empty() || total_w <= 0.0 {
+                break;
+            }
+            let mut spent = 0u64;
+            for &i in &open {
+                let t = &tables[i];
+                let share = (remaining as f64 * weight(t) / total_w) as u64;
+                let take = (share / t.row_bytes()).min(t.rows - hot[i]);
+                hot[i] += take;
+                spent += take * t.row_bytes();
+            }
+            if spent == 0 {
+                // Every open share rounds below one row; capacity exhausted.
+                break;
+            }
+            remaining = remaining.saturating_sub(spent);
+        }
+
+        let plans: Vec<TableCachePlan> = tables
+            .iter()
+            .zip(&hot)
+            .map(|(t, &h)| TableCachePlan {
+                hot_rows: h,
+                hit_rate: t.hit_rate(h),
+            })
+            .collect();
+        // Overall = row-traffic-weighted mean: each table contributes
+        // `avg_pooling` gathered rows per item.
+        let traffic: f64 = tables.iter().map(|t| t.avg_pooling() as f64).sum();
+        let overall = if traffic > 0.0 {
+            tables
+                .iter()
+                .zip(&plans)
+                .map(|(t, p)| t.avg_pooling() as f64 * p.hit_rate)
+                .sum::<f64>()
+                / traffic
+        } else {
+            0.0
+        };
+        CacheModel {
+            spec,
+            tables: plans,
+            overall,
+        }
+    }
+
+    /// The provisioning this plan was built for.
+    pub fn spec(&self) -> &CacheSpec {
+        &self.spec
+    }
+
+    /// Per-table shard plans, in table order.
+    pub fn tables(&self) -> &[TableCachePlan] {
+        &self.tables
+    }
+
+    /// Predicted hit rate for table `index` (0.0 for unknown tables).
+    pub fn hit_rate(&self, index: usize) -> f64 {
+        self.tables.get(index).map_or(0.0, |p| p.hit_rate)
+    }
+
+    /// Hot rows planned for table `index` (0 for unknown tables).
+    pub fn hot_rows(&self, index: usize) -> u64 {
+        self.tables.get(index).map_or(0, |p| p.hot_rows)
+    }
+
+    /// Row-traffic-weighted hit rate across all tables.
+    pub fn overall_hit_rate(&self) -> f64 {
+        self.overall
+    }
 }
 
 /// Per-operator slice of a batch timeline (Fig. 5 breakdowns).
@@ -136,7 +285,7 @@ pub fn cpu_op_latency(
         }
         None => {
             let (eff, per_core_gbs) = if c.random_access {
-                (calib::DDR_GATHER_EFFICIENCY, calib::PER_CORE_GATHER_GBS)
+                gather_calibration(cfg.server)
             } else {
                 (calib::DDR_STREAM_EFFICIENCY, calib::PER_CORE_STREAM_GBS)
             };
@@ -150,7 +299,18 @@ pub fn cpu_op_latency(
             let streams = (threads as f64 * (1.0 + 0.5 * (cfg.workers.saturating_sub(1)) as f64))
                 .clamp(1.0, cfg.server.cpu.cores as f64);
             let bw = (per_core_gbs * 1e9).min(cfg.server.mem.peak_bw_gbs * 1e9 * eff / streams);
-            c.total_bytes() / bw
+            let mut s = c.total_bytes() / bw;
+            // Embedding-tier cache: hits avoid the DRAM round trip (priced
+            // at CACHE_HIT_COST_RATIO of the gather cost); misses fall
+            // through at full cost plus any cold-tier penalty per row.
+            if let (Some(cache), OpKind::SparseLookup { table, .. }) = (cfg.cache, op) {
+                let hit = cache.hit_rate(table.index());
+                s *= hit * calib::CACHE_HIT_COST_RATIO + (1.0 - hit);
+                let missed_rows =
+                    batch as f64 * tables[table.index()].avg_pooling() as f64 * (1.0 - hit);
+                s += missed_rows * cache.spec().cold_miss_penalty.as_secs_f64();
+            }
+            s
         }
     };
 
@@ -215,7 +375,15 @@ pub fn cpu_batch_cost(
                 nmp_energy += est.energy;
                 channel_bytes += batch as f64 * spec.dim as f64 * 4.0 + accesses as f64 * 8.0;
             }
-            None => channel_bytes += c.total_bytes(),
+            None => {
+                let mut bytes = c.total_bytes();
+                // Hot-tier hits never cross the DRAM channel; only the
+                // miss fraction of a cached sparse lookup is charged.
+                if let (Some(cache), OpKind::SparseLookup { table, .. }) = (cfg.cache, &n.op) {
+                    bytes *= 1.0 - cache.hit_rate(table.index());
+                }
+                channel_bytes += bytes;
+            }
         }
     }
 
@@ -364,11 +532,29 @@ pub fn colocation_derate(tenants: u32, corunner_intensity: f64) -> f64 {
 /// pair describes the machine; a large gap is a calibration error the
 /// runtime reports (see `serve_live` and the `fig_gather_bw` bench).
 pub fn modeled_gather_bw_gbs(server: &ServerSpec, threads: u32, workers: u32) -> f64 {
+    let (eff, per_core_gbs) = gather_calibration(server);
     let threads = threads.max(1);
     let streams = (threads as f64 * (1.0 + 0.5 * (workers.max(1) - 1) as f64))
         .clamp(1.0, server.cpu.cores as f64);
-    (calib::PER_CORE_GATHER_GBS * streams)
-        .min(server.mem.peak_bw_gbs * calib::DDR_GATHER_EFFICIENCY)
+    (per_core_gbs * streams).min(server.mem.peak_bw_gbs * eff)
+}
+
+/// The `(ddr_gather_efficiency, per_core_gather_gbs)` pair the gather terms
+/// use — the calibrated constants, unless the server carries a measured
+/// efficiency fed back from a live-gather run
+/// (`ServerSpec::with_measured_gather_efficiency`), in which case both
+/// scale by `measured / calibrated` so the per-core MLP limit and the
+/// socket ceiling move together. The `None` arm returns the constants
+/// themselves (not a multiplication by 1.0), so uncalibrated servers are
+/// bit-identical to the pre-feedback model.
+fn gather_calibration(server: &ServerSpec) -> (f64, f64) {
+    match server.measured_gather_efficiency {
+        Some(m) => (
+            m,
+            calib::PER_CORE_GATHER_GBS * m / calib::DDR_GATHER_EFFICIENCY,
+        ),
+        None => (calib::DDR_GATHER_EFFICIENCY, calib::PER_CORE_GATHER_GBS),
+    }
 }
 
 /// Host-to-device transfer time for `bytes` over PCIe with `contenders`
@@ -403,6 +589,7 @@ mod tests {
             workers: 1,
             colocated_threads: 1,
             nmp: None,
+            cache: None,
         };
         let m = rmc1();
         let small = cpu_batch_cost(&m.graph, 16, &m.tables, &cfg);
@@ -423,12 +610,14 @@ mod tests {
             workers: 1,
             colocated_threads: 1,
             nmp: None,
+            cache: None,
         };
         let crowded = CpuExecConfig {
             server: &server,
             workers: 1,
             colocated_threads: 20,
             nmp: None,
+            cache: None,
         };
         let a = cpu_batch_cost(&m.graph, 128, &m.tables, &solo);
         let b = cpu_batch_cost(&m.graph, 128, &m.tables, &crowded);
@@ -444,12 +633,14 @@ mod tests {
             workers: 1,
             colocated_threads: 10,
             nmp: None,
+            cache: None,
         };
         let two = CpuExecConfig {
             server: &server,
             workers: 2,
             colocated_threads: 10,
             nmp: None,
+            cache: None,
         };
         let c1 = cpu_batch_cost(&m.graph, 256, &m.tables, &one);
         let c2 = cpu_batch_cost(&m.graph, 256, &m.tables, &two);
@@ -468,12 +659,14 @@ mod tests {
             workers: 1,
             colocated_threads: 4,
             nmp: None,
+            cache: None,
         };
         let nmp = CpuExecConfig {
             server: &server3,
             workers: 1,
             colocated_threads: 4,
             nmp: Some(&luts),
+            cache: None,
         };
         let base = cpu_batch_cost(&sd.sparse, 256, &m.tables, &plain);
         let accel = cpu_batch_cost(&sd.sparse, 256, &m.tables, &nmp);
@@ -506,6 +699,7 @@ mod tests {
                 workers: 1,
                 colocated_threads: 8,
                 nmp: Some(&luts),
+                cache: None,
             };
             cpu_batch_cost(&sd.sparse, 512, &m.tables, &cfg).latency
         };
@@ -661,6 +855,163 @@ mod tests {
         }
         let shared = Fixed.service_cost_shared(40);
         assert_eq!(shared.latency, Fixed.service_cost(40).latency);
+    }
+
+    #[test]
+    fn cache_plan_hit_rate_monotone_in_capacity() {
+        let m = rmc1();
+        let mut last = -1.0;
+        for mib in [0u64, 1, 4, 16, 64, 256, 4096] {
+            let plan = CacheModel::plan(CacheSpec::per_worker_mib(mib), &m.tables);
+            let h = plan.overall_hit_rate();
+            assert!(
+                h >= last,
+                "hit rate must be monotone in capacity: {h} < {last} at {mib} MiB"
+            );
+            assert!((0.0..=1.0).contains(&h));
+            last = h;
+        }
+        // Zero capacity caches nothing; a cache bigger than the tables
+        // holds everything.
+        let none = CacheModel::plan(CacheSpec::per_worker_mib(0), &m.tables);
+        assert_eq!(none.overall_hit_rate(), 0.0);
+        let total_mib = m
+            .tables
+            .iter()
+            .map(|t| t.size().as_bytes())
+            .sum::<u64>()
+            .div_ceil(1 << 20);
+        let all = CacheModel::plan(CacheSpec::per_worker_mib(total_mib + 1), &m.tables);
+        assert!((all.overall_hit_rate() - 1.0).abs() < 1e-9);
+        for (i, t) in m.tables.iter().enumerate() {
+            assert_eq!(all.hot_rows(i), t.rows, "saturated plan holds table {i}");
+        }
+    }
+
+    #[test]
+    fn cache_plan_respects_capacity() {
+        let m = rmc1();
+        for mib in [1u64, 8, 32, 128] {
+            let plan = CacheModel::plan(CacheSpec::per_worker_mib(mib), &m.tables);
+            let bytes: u64 = m
+                .tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| plan.hot_rows(i) * t.row_bytes())
+                .sum();
+            assert!(bytes <= mib << 20, "plan overflows {mib} MiB: {bytes} B");
+        }
+    }
+
+    #[test]
+    fn cache_cuts_sparse_latency_and_channel_bytes() {
+        let server = t2();
+        let m = rmc1();
+        let plan = CacheModel::plan(CacheSpec::per_worker_mib(64), &m.tables);
+        assert!(plan.overall_hit_rate() > 0.1, "64 MiB must catch hot mass");
+        let cold = CpuExecConfig {
+            server: &server,
+            workers: 1,
+            colocated_threads: 10,
+            nmp: None,
+            cache: None,
+        };
+        let warm = CpuExecConfig {
+            cache: Some(&plan),
+            ..cold
+        };
+        let a = cpu_batch_cost(&m.graph, 256, &m.tables, &cold);
+        let b = cpu_batch_cost(&m.graph, 256, &m.tables, &warm);
+        assert!(b.latency < a.latency, "cache hits must shorten the stage");
+        assert!(b.channel_bytes < a.channel_bytes, "hits skip the channel");
+    }
+
+    #[test]
+    fn cold_miss_penalty_charges_missed_rows_only() {
+        let server = t2();
+        let m = rmc1();
+        let base = CacheSpec::per_worker_mib(16);
+        let slow = base.with_cold_miss_penalty(SimDuration::from_micros(1));
+        let fast_plan = CacheModel::plan(base, &m.tables);
+        let slow_plan = CacheModel::plan(slow, &m.tables);
+        let cfg = |plan| CpuExecConfig {
+            server: &server,
+            workers: 1,
+            colocated_threads: 10,
+            nmp: None,
+            cache: Some(plan),
+        };
+        let a = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg(&fast_plan));
+        let b = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg(&slow_plan));
+        assert!(b.latency > a.latency, "cold-tier penalty must cost time");
+
+        // A saturating cache makes the penalty irrelevant: no misses.
+        let huge = CacheModel::plan(
+            CacheSpec::per_worker_mib(1 << 14).with_cold_miss_penalty(SimDuration::from_millis(1)),
+            &m.tables,
+        );
+        let c = cpu_batch_cost(&m.graph, 256, &m.tables, &cfg(&huge));
+        assert!(c.latency < a.latency);
+    }
+
+    #[test]
+    fn nmp_route_takes_precedence_over_cache() {
+        // On NMP servers the DIMM-side units already keep gathers local;
+        // the cache multiplier must not double-discount the NMP estimate.
+        let server3 = ServerType::T3.spec();
+        let m = rmc1();
+        let sd = sparse_dense(&m);
+        let luts = NmpLutSet::standard(server3.mem.total_ranks());
+        let plan = CacheModel::plan(CacheSpec::per_worker_mib(64), &m.tables);
+        let without = CpuExecConfig {
+            server: &server3,
+            workers: 1,
+            colocated_threads: 4,
+            nmp: Some(&luts),
+            cache: None,
+        };
+        let with = CpuExecConfig {
+            cache: Some(&plan),
+            ..without
+        };
+        let a = cpu_batch_cost(&sd.sparse, 256, &m.tables, &without);
+        let b = cpu_batch_cost(&sd.sparse, 256, &m.tables, &with);
+        assert_eq!(a.latency, b.latency, "NMP-routed ops ignore the cache");
+    }
+
+    #[test]
+    fn measured_efficiency_recalibrates_gather_bw() {
+        let server = t2();
+        let base = modeled_gather_bw_gbs(&server, 10, 2);
+        // Feeding back the calibrated constant itself is a no-op.
+        let same = server
+            .clone()
+            .with_measured_gather_efficiency(calib::DDR_GATHER_EFFICIENCY);
+        assert!((modeled_gather_bw_gbs(&same, 10, 2) - base).abs() < 1e-12);
+        // A slower measurement scales the whole curve down.
+        let slow = server.clone().with_measured_gather_efficiency(0.30);
+        let slow_bw = modeled_gather_bw_gbs(&slow, 10, 2);
+        assert!(slow_bw < base);
+        assert!((slow_bw / base - 0.30 / calib::DDR_GATHER_EFFICIENCY).abs() < 1e-9);
+        // Saturation now sits at the measured socket ceiling.
+        assert!(
+            (modeled_gather_bw_gbs(&slow, 1000, 4) - server.mem.peak_bw_gbs * 0.30).abs() < 1e-9
+        );
+        // And sparse stage costs move with it.
+        let m = rmc1();
+        let sd = sparse_dense(&m);
+        let mk = |s: &ServerSpec| {
+            let cfg = CpuExecConfig {
+                server: s,
+                workers: 1,
+                colocated_threads: 10,
+                nmp: None,
+                cache: None,
+            };
+            cpu_batch_cost(&sd.sparse, 256, &m.tables, &cfg).latency
+        };
+        assert!(mk(&slow) > mk(&server), "slower gathers cost more");
+        assert_eq!(mk(&same), mk(&server), "calibrated feedback is identity");
     }
 
     #[test]

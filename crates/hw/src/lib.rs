@@ -15,7 +15,7 @@
 //!
 //! let server = ServerType::T2.spec();
 //! let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
-//! let cfg = CpuExecConfig { server: &server, workers: 2, colocated_threads: 10, nmp: None };
+//! let cfg = CpuExecConfig { server: &server, workers: 2, colocated_threads: 10, nmp: None, cache: None };
 //! let cost = cpu_batch_cost(&model.graph, 256, &model.tables, &cfg);
 //! assert!(cost.latency.as_millis_f64() > 0.0);
 //! ```
@@ -28,7 +28,9 @@ pub mod power;
 pub mod schedule;
 pub mod server;
 
-pub use cost::{cpu_batch_cost, gpu_batch_cost, pcie_transfer_time, BatchCost};
+pub use cost::{
+    cpu_batch_cost, gpu_batch_cost, pcie_transfer_time, BatchCost, CacheModel, CacheSpec,
+};
 pub use nmp::{NmpLutCache, NmpLutSet};
 pub use power::{Activity, PowerModel};
 pub use server::{Fleet, ServerSpec, ServerType};

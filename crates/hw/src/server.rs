@@ -2,6 +2,7 @@
 
 use hercules_common::units::{MemBytes, Watts};
 
+use crate::cost::CacheSpec;
 use crate::device::{
     CpuSpec, GpuSpec, MemorySpec, CPU_T1, CPU_T2, DDR4_T1, DDR4_T2, GPU_P100, GPU_V100, NMP_X2,
     NMP_X4, NMP_X8,
@@ -83,6 +84,8 @@ impl ServerType {
             cpu,
             mem,
             gpu,
+            cache: None,
+            measured_gather_efficiency: None,
         }
     }
 
@@ -136,6 +139,15 @@ pub struct ServerSpec {
     pub mem: MemorySpec,
     /// Discrete accelerator, if any.
     pub gpu: Option<GpuSpec>,
+    /// Embedding-tier hot cache provisioned per gathering worker. `None`
+    /// (the default for every Table-II spec) means the cache tier does not
+    /// exist and every oracle prices gathers exactly as before.
+    pub cache: Option<CacheSpec>,
+    /// Measured DDR gather efficiency fed back from a live-gather run
+    /// (`calib::implied_gather_efficiency`). `None` (default) keeps the
+    /// calibrated [`crate::calib::DDR_GATHER_EFFICIENCY`] /
+    /// [`crate::calib::PER_CORE_GATHER_GBS`] pair bit-identical.
+    pub measured_gather_efficiency: Option<f64>,
 }
 
 impl ServerSpec {
@@ -157,6 +169,24 @@ impl ServerSpec {
     /// Accelerator memory capacity (zero without a GPU).
     pub fn accel_memory(&self) -> MemBytes {
         self.gpu.as_ref().map_or(MemBytes::ZERO, |g| g.memory)
+    }
+
+    /// Provisions an embedding-tier hot cache on this server (per
+    /// gathering worker; see [`CacheSpec`]).
+    pub fn with_embedding_cache(mut self, cache: CacheSpec) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Feeds a measured DDR gather efficiency back into the cost model
+    /// (closing the `implied_gather_efficiency` loop). Non-finite or
+    /// non-positive measurements are ignored; values above 1.0 clamp to
+    /// the physical peak.
+    pub fn with_measured_gather_efficiency(mut self, eff: f64) -> Self {
+        if eff.is_finite() && eff > 0.0 {
+            self.measured_gather_efficiency = Some(eff.min(1.0));
+        }
+        self
     }
 
     /// Sum of component TDPs: the worst-case power this server can draw
@@ -291,5 +321,45 @@ mod tests {
     fn tdp_composition() {
         // T7 = 125 (CPU) + 50 (DDR4) + 300 (V100).
         assert_eq!(ServerType::T7.spec().total_tdp(), Watts(475.0));
+    }
+
+    #[test]
+    fn specs_default_cache_free_and_uncalibrated() {
+        // Bit-identity of every pre-cache code path depends on these
+        // defaults staying `None` for all Table-II types.
+        for t in ServerType::ALL {
+            let s = t.spec();
+            assert!(s.cache.is_none());
+            assert!(s.measured_gather_efficiency.is_none());
+        }
+    }
+
+    #[test]
+    fn cache_and_efficiency_builders() {
+        let s = ServerType::T2
+            .spec()
+            .with_embedding_cache(CacheSpec::per_worker_mib(32));
+        assert_eq!(s.cache.unwrap().capacity, MemBytes::from_mib(32));
+
+        let s = ServerType::T2.spec().with_measured_gather_efficiency(0.52);
+        assert_eq!(s.measured_gather_efficiency, Some(0.52));
+        // Bad measurements are dropped; superunity clamps to 1.0.
+        assert!(ServerType::T2
+            .spec()
+            .with_measured_gather_efficiency(f64::NAN)
+            .measured_gather_efficiency
+            .is_none());
+        assert!(ServerType::T2
+            .spec()
+            .with_measured_gather_efficiency(-0.3)
+            .measured_gather_efficiency
+            .is_none());
+        assert_eq!(
+            ServerType::T2
+                .spec()
+                .with_measured_gather_efficiency(1.7)
+                .measured_gather_efficiency,
+            Some(1.0)
+        );
     }
 }

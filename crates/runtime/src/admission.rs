@@ -9,7 +9,74 @@
 //! by the pool's parallelism — because it must be evaluable in nanoseconds
 //! on the dispatch path of both clock modes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::config::AdmissionPolicy;
+
+/// EWMA smoothing factor for measured per-sub service: heavy enough to
+/// track a gather kernel drifting from the model, light enough to ride out
+/// single-batch noise.
+const SERVICE_EWMA_ALPHA: f64 = 0.2;
+
+/// A lock-free exponentially-weighted moving average of measured per-sub
+/// service time, shared between the workers that measure (record) and the
+/// dispatcher that estimates (read).
+///
+/// Stores the f64 bit pattern in an [`AtomicU64`]; `NAN` is the "no sample
+/// yet" sentinel, so readers can distinguish an unseeded average from a
+/// genuine zero.
+#[derive(Debug)]
+pub struct ServiceEwma {
+    bits: AtomicU64,
+}
+
+impl ServiceEwma {
+    /// Creates an empty average.
+    pub fn new() -> Self {
+        ServiceEwma {
+            bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Folds one measured per-sub service time (seconds) into the average.
+    /// Non-finite or negative samples are discarded.
+    pub fn record(&self, sample_s: f64) {
+        if !sample_s.is_finite() || sample_s < 0.0 {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let prev = f64::from_bits(cur);
+            let next = if prev.is_nan() {
+                sample_s // first sample seeds the average
+            } else {
+                prev + SERVICE_EWMA_ALPHA * (sample_s - prev)
+            };
+            match self.bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The current average (seconds), or `None` before the first sample.
+    pub fn current(&self) -> Option<f64> {
+        let v = f64::from_bits(self.bits.load(Ordering::Relaxed));
+        (!v.is_nan()).then_some(v)
+    }
+}
+
+impl Default for ServiceEwma {
+    fn default() -> Self {
+        ServiceEwma::new()
+    }
+}
 
 /// Decides, per arriving query, whether to admit or shed.
 #[derive(Debug)]
@@ -17,6 +84,9 @@ pub struct AdmissionController {
     budget_s: Option<f64>,
     per_sub_s: f64,
     parallelism: f64,
+    /// Live measured per-sub service feed; when attached (wall-clock runs
+    /// with real gathers), it overrides the static modeled estimate.
+    measured: Option<Arc<ServiceEwma>>,
     admitted: u64,
     shed: u64,
 }
@@ -29,15 +99,33 @@ impl AdmissionController {
             budget_s: policy.budget.map(|b| b.as_secs_f64()),
             per_sub_s,
             parallelism: parallelism.max(1) as f64,
+            measured: None,
             admitted: 0,
             shed: 0,
         }
     }
 
+    /// Attaches a measured per-sub service feed. Until its first sample
+    /// arrives the controller keeps using the modeled estimate, so an
+    /// attached-but-quiet feed changes nothing.
+    pub fn attach_measured(&mut self, feed: Arc<ServiceEwma>) {
+        self.measured = Some(feed);
+    }
+
     /// Estimated delay (seconds) before a sub-query entering a queue of
     /// `queued_subs` reaches a worker.
+    ///
+    /// Uses the measured per-sub service average when a feed is attached
+    /// and has seen samples — under real gathers the measured kernel time
+    /// diverges from the model exactly when shedding decisions matter —
+    /// and the static modeled estimate otherwise.
     pub fn estimated_delay_s(&self, queued_subs: usize) -> f64 {
-        queued_subs as f64 * self.per_sub_s / self.parallelism
+        let per_sub = self
+            .measured
+            .as_ref()
+            .and_then(|m| m.current())
+            .unwrap_or(self.per_sub_s);
+        queued_subs as f64 * per_sub / self.parallelism
     }
 
     /// Admits or sheds a query given the current ingress backlog.
@@ -108,6 +196,42 @@ mod tests {
         assert!(c.admit(0));
         c.shed_backpressure();
         assert_eq!(c.admitted(), 0);
+        assert_eq!(c.shed(), 1);
+    }
+
+    #[test]
+    fn ewma_seeds_then_smooths() {
+        let e = ServiceEwma::new();
+        assert_eq!(e.current(), None);
+        e.record(10.0);
+        assert_eq!(e.current(), Some(10.0));
+        e.record(20.0);
+        // 10 + 0.2 * (20 - 10) = 12.
+        assert!((e.current().unwrap() - 12.0).abs() < 1e-12);
+        // Garbage samples are ignored.
+        e.record(f64::NAN);
+        e.record(f64::INFINITY);
+        e.record(-1.0);
+        assert!((e.current().unwrap() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_feed_overrides_modeled_estimate() {
+        let policy = AdmissionPolicy {
+            budget: Some(SimDuration::from_millis(10)),
+        };
+        // Modeled: 1 ms per sub over 2 workers tolerates 20 queued.
+        let mut c = AdmissionController::new(&policy, 1e-3, 2);
+        let feed = Arc::new(ServiceEwma::new());
+        c.attach_measured(Arc::clone(&feed));
+        // Unseeded feed: modeled estimate still in force.
+        assert!((c.estimated_delay_s(20) - 10e-3).abs() < 1e-12);
+        assert!(c.admit(20));
+        // Workers measure 4x the modeled service: the same backlog now
+        // blows the budget.
+        feed.record(4e-3);
+        assert!((c.estimated_delay_s(20) - 40e-3).abs() < 1e-12);
+        assert!(!c.admit(20));
         assert_eq!(c.shed(), 1);
     }
 }

@@ -64,11 +64,13 @@ mod stage;
 mod virt;
 mod wall;
 
-pub use admission::AdmissionController;
+pub use admission::{AdmissionController, ServiceEwma};
 pub use affinity::{CorePlan, PinPolicy};
 pub use config::{AdmissionPolicy, BatchPolicy, ClockMode, GatherMode, RuntimeConfig};
-pub use memory::{EmbeddingArena, GatherOutcome, GatherScratch, InitPlacement};
-pub use report::{GatherStats, RuntimeReport, StageSummary};
+pub use memory::{
+    CacheOutcome, EmbeddingArena, EmbeddingCacheShard, GatherOutcome, GatherScratch, InitPlacement,
+};
+pub use report::{CacheStats, GatherStats, RuntimeReport, StageSummary};
 pub use search::max_qps_under_sla_live;
 pub use serve::ServingRuntime;
 pub use telemetry::{thread_allocs, CountingAlloc, StageKind, WorkerTelemetry};

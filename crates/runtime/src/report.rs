@@ -52,6 +52,33 @@ pub struct GatherStats {
     pub compacted: bool,
 }
 
+/// What the front pool's embedding-tier cache shards observed (wall mode
+/// with real gathers on a cache-provisioned server only).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Rows served from the hot tier.
+    pub hits: u64,
+    /// Rows that fell through to the cold tier.
+    pub misses: u64,
+    /// Rows admitted into the hot tier after a miss.
+    pub inserted: u64,
+    /// The planner's predicted overall hit rate for the same table set and
+    /// capacity, for model-vs-measurement comparison.
+    pub predicted_hit_rate: f64,
+}
+
+impl CacheStats {
+    /// Measured hit rate: hits over rows gathered (0.0 before any row).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 impl GatherStats {
     /// Mean per-stream gather bandwidth in GB/s: total bytes over total
     /// in-kernel wall seconds. Workers gather concurrently, so the
@@ -90,6 +117,13 @@ pub struct RuntimeReport {
     ///
     /// [`GatherMode::Real`]: crate::config::GatherMode::Real
     pub gather: Option<GatherStats>,
+    /// Embedding-cache hit/miss counts (wall mode with real gathers on a
+    /// cache-provisioned server only).
+    pub cache: Option<CacheStats>,
+    /// End-to-end latency samples that overflowed the histogram's top
+    /// bucket (they are clamped into it, coarsening — not losing — the
+    /// extreme tail; see [`LatencyHistogram::overflow_count`]).
+    pub latency_overflow: u64,
     /// Heap allocations observed on worker hot paths after warm-up,
     /// summed across workers. Meaningful only in binaries that install
     /// [`CountingAlloc`](crate::telemetry::CountingAlloc) as the global
@@ -142,6 +176,10 @@ pub(crate) struct RunTotals {
     /// `(resident_bytes, compacted)` of the embedding arena when the run
     /// executed real gathers; `None` turns the report's gather field off.
     pub arena: Option<(u64, bool)>,
+    /// The cache planner's predicted overall hit rate when the run served
+    /// gathers through live cache shards; `None` turns the report's cache
+    /// field off.
+    pub cache_predicted: Option<f64>,
 }
 
 /// Folds per-worker telemetry into the final report. Workers are merged
@@ -174,6 +212,7 @@ pub(crate) fn assemble(
     let mut busy_weight = 0.0;
     let mut total_nmp_j = 0.0;
     let mut gather = GatherStats::default();
+    let mut cache = CacheStats::default();
     let mut hot_allocs = 0u64;
     let mut hot_samples = 0u64;
     for w in &workers {
@@ -191,6 +230,9 @@ pub(crate) fn assemble(
         gather.rows += w.gather_rows;
         gather.wall_s += w.gather_wall_s;
         gather.checksum += w.gather_checksum;
+        cache.hits += w.cache_hits;
+        cache.misses += w.cache_misses;
+        cache.inserted += w.cache_inserted;
         hot_allocs += w.hot_allocs;
         hot_samples += w.hot_samples;
     }
@@ -198,6 +240,10 @@ pub(crate) fn assemble(
         resident_bytes,
         compacted,
         ..gather
+    });
+    let cache = totals.cache_predicted.map(|predicted_hit_rate| CacheStats {
+        predicted_hit_rate,
+        ..cache
     });
 
     let stages = summarize_stages(&workers);
@@ -266,6 +312,8 @@ pub(crate) fn assemble(
         clock: cfg.clock,
         wall_elapsed_s: totals.wall_elapsed_s,
         gather,
+        cache,
+        latency_overflow: e2e.overflow_count(),
         hot_allocs,
         hot_samples,
     }

@@ -86,6 +86,13 @@ pub struct WorkerTelemetry {
     /// Sum of gather checksums — a live use of every byte read, and a
     /// cross-run determinism witness.
     pub gather_checksum: f64,
+    /// Rows served from this worker's hot-tier cache shard (zero when the
+    /// server provisions no embedding cache).
+    pub cache_hits: u64,
+    /// Rows that missed the hot tier and read the arena slab.
+    pub cache_misses: u64,
+    /// Missed rows admitted into the shard by its LRU policy.
+    pub cache_inserted: u64,
     /// Heap allocations observed on this worker's hot path after warm-up
     /// (populated only when a counting allocator is installed; see
     /// [`thread_allocs`]).
@@ -119,6 +126,9 @@ impl WorkerTelemetry {
             gather_rows: 0,
             gather_wall_s: 0.0,
             gather_checksum: 0.0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_inserted: 0,
             hot_allocs: 0,
             hot_samples: 0,
             buckets: Buckets::new(duration),
@@ -215,6 +225,13 @@ impl WorkerTelemetry {
         self.gather_rows += outcome.rows;
         self.gather_wall_s += wall_s;
         self.gather_checksum += outcome.checksum;
+    }
+
+    /// Records one cached gather's hit/miss classification.
+    pub(crate) fn record_cache(&mut self, outcome: &crate::memory::CacheOutcome) {
+        self.cache_hits += outcome.hits;
+        self.cache_misses += outcome.misses;
+        self.cache_inserted += outcome.inserted;
     }
 
     /// Records `allocs` heap allocations observed while serving one

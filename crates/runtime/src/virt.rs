@@ -418,6 +418,7 @@ pub(crate) fn run(
         in_flight: table.in_flight(),
         wall_elapsed_s: None,
         arena: None,
+        cache_predicted: None,
     };
     let workers: Vec<WorkerTelemetry> = exec
         .front_telem

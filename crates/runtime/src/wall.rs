@@ -30,7 +30,7 @@
 //! thread closes the next stage's queue once every upstream producer has
 //! joined — the run therefore drains completely and `in_flight` is zero.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hercules_common::rng::SimRng;
@@ -40,7 +40,7 @@ use hercules_hw::server::ServerSpec;
 use hercules_sim::{split_iter, Topology};
 use hercules_workload::query::Query;
 
-use crate::admission::AdmissionController;
+use crate::admission::{AdmissionController, ServiceEwma};
 use crate::affinity::{self, CorePlan};
 use crate::config::{ClockMode, RuntimeConfig};
 use crate::memory::{EmbeddingArena, GatherScratch};
@@ -222,6 +222,20 @@ pub(crate) fn run(
     let (per_sub_s, parallelism) = stages.ingress_estimate();
     let mut admission = AdmissionController::new(&cfg.admission, per_sub_s, parallelism);
 
+    // Embedding-tier cache: planned per-table hot shards when the server
+    // is cache-provisioned, materialized per front worker under real
+    // gathers. Misses additionally burn the modeled cold-tier penalty, so
+    // the wall run and the cost model charge the same hierarchy.
+    let cache_model = topo.front.as_ref().and_then(|f| f.svc.cache_model());
+    let miss_penalty = cache_model.map_or(SimDuration::ZERO, |m| m.spec().cold_miss_penalty);
+    // Under real gathers the measured per-sub service (which the static
+    // model cannot see — it depends on this machine's memory system and
+    // on cache warm-up) feeds the admission controller's delay estimate.
+    let measured_feed = arena.is_some().then(|| Arc::new(ServiceEwma::new()));
+    if let Some(feed) = &measured_feed {
+        admission.attach_measured(Arc::clone(feed));
+    }
+
     let gpu_ctxs = match stages.back {
         BackKind::Gpu { ctxs, .. } => ctxs,
         _ => 0,
@@ -264,12 +278,17 @@ pub(crate) fn run(
                 let (front_q, back_q, fuse_q, table, back, plan) =
                     (&front_q, &back_q, &fuse_q, &table, stages.back, &plan);
                 let mut rng = rng_root.fork();
+                let ewma = measured_feed.clone();
                 front_handles.push(scope.spawn(move || {
                     if let Some(core) = plan.front_core(w as usize) {
                         let _ = affinity::pin_current_thread(core);
                     }
                     let mut t = WorkerTelemetry::new(StageKind::Front, w, cfg.duration);
                     let mut scratch = GatherScratch::with_dim(arena.map_or(0, |a| a.max_dim()));
+                    let mut cache = match (arena, cache_model) {
+                        (Some(a), Some(m)) => Some(a.cache_shard(m)),
+                        _ => None,
+                    };
                     while let Some(sub) = front_q.pop_wait() {
                         let sample = t.batches >= HOT_WARMUP;
                         let allocs_before = thread_allocs();
@@ -284,13 +303,35 @@ pub(crate) fn run(
                                 // total replaces the modeled latency in
                                 // every latency-facing account.
                                 let kernel_start = Instant::now();
-                                let outcome = arena.gather(sub.items, &mut rng, &mut scratch);
+                                let (outcome, penalty) = match cache.as_mut() {
+                                    Some(shard) => {
+                                        let (outcome, stats) = arena.gather_cached(
+                                            sub.items,
+                                            &mut rng,
+                                            &mut scratch,
+                                            shard,
+                                        );
+                                        t.record_cache(&stats);
+                                        // Missed rows pay the modeled
+                                        // cold-tier penalty on top of the
+                                        // DRAM time the gather itself
+                                        // just charged.
+                                        (outcome, miss_penalty.mul_f64(stats.misses as f64))
+                                    }
+                                    None => (
+                                        arena.gather(sub.items, &mut rng, &mut scratch),
+                                        SimDuration::ZERO,
+                                    ),
+                                };
                                 t.record_gather(&outcome, kernel_start.elapsed().as_secs_f64());
-                                clock.busy_wait(dense_residual(&cost));
+                                clock.busy_wait(dense_residual(&cost) + penalty);
                                 let done = clock.now();
                                 let service = done.saturating_since(now);
                                 table.add_inference(&sub, service);
                                 t.record_cpu_measured(now, wait, sub.items, &cost, service);
+                                if let Some(feed) = &ewma {
+                                    feed.record(service.as_secs_f64());
+                                }
                                 done
                             }
                             None => {
@@ -512,6 +553,10 @@ pub(crate) fn run(
         in_flight: table.in_flight(),
         wall_elapsed_s: Some(started.elapsed().as_secs_f64()),
         arena: arena.map(|a| (a.resident().as_bytes(), a.is_compacted())),
+        cache_predicted: match (arena, cache_model) {
+            (Some(_), Some(m)) => Some(m.overall_hit_rate()),
+            _ => None,
+        },
     };
     assemble(server, cfg, workers, totals)
 }

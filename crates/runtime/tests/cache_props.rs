@@ -1,0 +1,158 @@
+//! Embedding-tier cache acceptance properties: the live LRU shards agree
+//! with the planner's hit-rate prediction on the quickstart scenario,
+//! hit/miss accounting conserves every gathered row, a zero-capacity
+//! cache is bitwise-identical to no cache at all, and a table set larger
+//! than one server's DRAM becomes servable once the server is
+//! cache-provisioned.
+
+use hercules_common::units::{MemBytes, Qps, SimDuration};
+use hercules_hw::cost::CacheSpec;
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{ClockMode, GatherMode, RuntimeConfig, ServingRuntime};
+use hercules_sim::{simulate, NmpLutCache, PlacementPlan, PlanError, SimConfig};
+
+fn quickstart_plan() -> PlacementPlan {
+    PlacementPlan::CpuModel {
+        threads: 10,
+        workers: 2,
+        batch: 256,
+    }
+}
+
+fn rmc1() -> RecModel {
+    RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production)
+}
+
+fn sim_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        duration: SimDuration::from_millis(800),
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed,
+    }
+}
+
+#[test]
+fn wall_cache_agrees_with_plan_and_conserves_rows() {
+    let server = ServerType::T2
+        .spec()
+        .with_embedding_cache(CacheSpec::per_worker_mib(64));
+    let cfg = RuntimeConfig::from_sim(&sim_cfg(5))
+        .with_clock(ClockMode::Wall { time_scale: 0.25 })
+        .with_gather(GatherMode::Real {
+            budget: MemBytes::from_mib(256),
+        });
+    let rt = ServingRuntime::build(
+        &rmc1(),
+        server,
+        &quickstart_plan(),
+        cfg,
+        &NmpLutCache::new(),
+    )
+    .unwrap();
+    let r = rt.serve(Qps(300.0));
+    assert!(r.conserves());
+    let gather = r.gather.expect("real gathers ran");
+    let cache = r.cache.expect("cache shards ran");
+
+    // Conservation: every gathered row was classified exactly once.
+    assert_eq!(
+        cache.hits + cache.misses,
+        gather.rows,
+        "hits {} + misses {} != rows {}",
+        cache.hits,
+        cache.misses,
+        gather.rows
+    );
+    assert!(cache.inserted <= cache.misses, "only misses insert");
+
+    // Model-vs-measurement agreement. The planner's Che-style top-k mass
+    // is an upper-structure approximation (set-associative conflicts pull
+    // the real rate down) while the arena's bounded row pool truncates the
+    // Zipf tail (pulling it up), so agreement is coarse but bounded.
+    let measured = cache.hit_rate();
+    let predicted = cache.predicted_hit_rate;
+    assert!(predicted > 0.2, "planner predicts real locality");
+    assert!(measured > 0.2, "shards capture real locality");
+    assert!(
+        (measured - predicted).abs() <= 0.2,
+        "measured hit rate {measured:.3} drifted from predicted {predicted:.3}"
+    );
+}
+
+#[test]
+fn zero_capacity_cache_is_bitwise_identical() {
+    // A cache-provisioned server with zero capacity must take the exact
+    // code paths to the same bits as a cache-free server: hit rate 0
+    // multiplies every estimator by 1.0 and no shard ever serves a row.
+    let plain = ServerType::T2.spec();
+    let zeroed = ServerType::T2
+        .spec()
+        .with_embedding_cache(CacheSpec::per_worker_mib(0));
+    let plan = quickstart_plan();
+    let offered = Qps(500.0);
+
+    // Discrete-event simulator.
+    let sim_a = simulate(&rmc1(), &plain, &plan, offered, &sim_cfg(21)).unwrap();
+    let sim_b = simulate(&rmc1(), &zeroed, &plan, offered, &sim_cfg(21)).unwrap();
+    assert_eq!(sim_a.completed, sim_b.completed);
+    assert_eq!(sim_a.p50, sim_b.p50);
+    assert_eq!(sim_a.p99, sim_b.p99);
+    assert_eq!(sim_a.mean_latency, sim_b.mean_latency);
+    assert_eq!(
+        sim_a.mean_power.value().to_bits(),
+        sim_b.mean_power.value().to_bits()
+    );
+
+    // Virtual-clock runtime.
+    let luts = NmpLutCache::new();
+    let cfg = RuntimeConfig::from_sim(&sim_cfg(21));
+    let rt_a = ServingRuntime::build(&rmc1(), plain, &plan, cfg, &luts)
+        .unwrap()
+        .serve(offered);
+    let rt_b = ServingRuntime::build(&rmc1(), zeroed, &plan, cfg, &luts)
+        .unwrap()
+        .serve(offered);
+    assert_eq!(rt_a.sim.completed, rt_b.sim.completed);
+    assert_eq!(rt_a.sim.p50, rt_b.sim.p50);
+    assert_eq!(rt_a.sim.p95, rt_b.sim.p95);
+    assert_eq!(rt_a.sim.p99, rt_b.sim.p99);
+    assert_eq!(rt_a.sim.mean_latency, rt_b.sim.mean_latency);
+    assert_eq!(
+        rt_a.sim.mean_power.value().to_bits(),
+        rt_b.sim.mean_power.value().to_bits()
+    );
+    assert_eq!(rt_a.shed, rt_b.shed);
+    assert_eq!(rt_a.latency_overflow, rt_b.latency_overflow);
+}
+
+#[test]
+fn oversized_table_set_needs_the_cache_tier() {
+    // Scale the quickstart model's tables past one T2's DRAM: without the
+    // cache tier the plan is structurally infeasible (HostMemory); with
+    // it, the hot tier serves the Zipf head and the cold tier is allowed
+    // to spill beyond DRAM, so the same plan builds and serves.
+    let mut model = rmc1();
+    let dram = ServerType::T2.spec().host_memory().as_bytes();
+    let per_table = dram / model.tables.len() as u64 + (1 << 30);
+    for t in &mut model.tables {
+        t.rows = per_table / t.row_bytes();
+    }
+    let table_bytes: u64 = model.tables.iter().map(|t| t.size().as_bytes()).sum();
+    assert!(table_bytes > dram, "test premise: tables exceed DRAM");
+
+    let plan = quickstart_plan();
+    let plain = ServerType::T2.spec();
+    let err = simulate(&model, &plain, &plan, Qps(200.0), &sim_cfg(9));
+    assert!(
+        matches!(err, Err(PlanError::HostMemory { .. })),
+        "cache-free server must reject an over-DRAM table set, got {err:?}"
+    );
+
+    let cached = ServerType::T2
+        .spec()
+        .with_embedding_cache(CacheSpec::per_worker_mib(256));
+    let report = simulate(&model, &cached, &plan, Qps(200.0), &sim_cfg(9)).unwrap();
+    assert!(report.completed > 0, "cache-provisioned server serves");
+}

@@ -272,8 +272,11 @@ pub fn validate_plan(
         return Err(PlanError::NoGpu);
     }
 
+    // An embedding-tier cache turns host DRAM into the hot tier of a
+    // larger hierarchy: misses fall through to the (modeled) cold tier,
+    // so table sets beyond one server's DRAM stay servable.
     let table_bytes = model.total_table_size();
-    if table_bytes > server.host_memory() {
+    if server.cache.is_none() && table_bytes > server.host_memory() {
         return Err(PlanError::HostMemory {
             required: table_bytes,
             available: server.host_memory(),

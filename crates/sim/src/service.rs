@@ -11,7 +11,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use hercules_common::units::MemBytes;
-use hercules_hw::cost::{cpu_batch_cost, gpu_batch_cost, BatchCost, CpuExecConfig, GpuExecConfig};
+use hercules_hw::cost::{
+    cpu_batch_cost, gpu_batch_cost, BatchCost, CacheModel, CpuExecConfig, GpuExecConfig,
+};
 use hercules_hw::nmp::{NmpLutCache, NmpLutSet};
 use hercules_hw::server::ServerSpec;
 use hercules_model::fusion::fuse_elementwise;
@@ -55,15 +57,27 @@ pub struct StageService {
     graph: Graph,
     tables: Vec<EmbeddingTableSpec>,
     device: StageDevice,
+    /// Embedding-tier cache plan for CPU stages on cache-provisioned
+    /// servers (`ServerSpec::cache`); `None` keeps costs cache-oblivious.
+    cache_model: Option<CacheModel>,
     cache: Mutex<HashMap<u32, Arc<BatchCost>>>,
 }
 
 impl StageService {
     fn new(graph: Graph, tables: Vec<EmbeddingTableSpec>, device: StageDevice) -> Self {
+        // The hot tier lives with the gathering CPU workers; GPU stages
+        // already model their own hot partition (Fig. 10a).
+        let cache_model = match &device {
+            StageDevice::Cpu { server, .. } => {
+                server.cache.map(|spec| CacheModel::plan(spec, &tables))
+            }
+            StageDevice::Gpu { .. } => None,
+        };
         StageService {
             graph,
             tables,
             device,
+            cache_model,
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -94,6 +108,7 @@ impl StageService {
                     workers: *workers,
                     colocated_threads: *colocated_threads,
                     nmp: nmp.as_deref(),
+                    cache: self.cache_model.as_ref(),
                 };
                 cpu_batch_cost(&self.graph, q as u64, &self.tables, &cfg)
             }
@@ -125,6 +140,14 @@ impl StageService {
     /// these specs.
     pub fn tables(&self) -> &[EmbeddingTableSpec] {
         &self.tables
+    }
+
+    /// The embedding-tier cache plan this stage prices gathers with, when
+    /// its server provisions one. The live runtime builds its per-worker
+    /// LRU shards from the same plan, so the simulated and measured
+    /// hierarchies agree.
+    pub fn cache_model(&self) -> Option<&CacheModel> {
+        self.cache_model.as_ref()
     }
 }
 
@@ -591,6 +614,32 @@ mod tests {
         assert_eq!(a.latency, b.latency);
         let c = svc.cost(512);
         assert!(c.latency > a.latency);
+    }
+
+    #[test]
+    fn cache_provisioned_server_prices_cheaper_front_stage() {
+        use hercules_hw::cost::CacheSpec;
+        let m = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+        let plan = PlacementPlan::CpuModel {
+            threads: 10,
+            workers: 2,
+            batch: 256,
+        };
+        let plain = ServerType::T2.spec();
+        let cached = ServerType::T2
+            .spec()
+            .with_embedding_cache(CacheSpec::per_worker_mib(64));
+        let a = build(&m, &plain, &plan).unwrap();
+        let b = build(&m, &cached, &plan).unwrap();
+        let fa = a.front.unwrap();
+        let fb = b.front.unwrap();
+        assert!(fa.svc.cache_model().is_none());
+        let model = fb.svc.cache_model().expect("cache plan built");
+        assert!(model.overall_hit_rate() > 0.0);
+        assert!(
+            fb.svc.cost(256).latency < fa.svc.cost(256).latency,
+            "hot-tier hits must shorten the sparse stage"
+        );
     }
 
     #[test]

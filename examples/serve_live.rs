@@ -7,18 +7,23 @@
 //! report. A virtual-clock run of the identical scenario prints alongside,
 //! showing the deterministic executor and the threaded one agree.
 //!
-//! Run with: `cargo run --release --example serve_live [-- --gather real|synthetic]`
+//! Run with: `cargo run --release --example serve_live [-- --gather real|synthetic] [--cache <MiB>]`
 //!
 //! With `--gather real` (or `HERCULES_GATHER=real`) the wall-clock front
 //! pool performs genuine memory-bound embedding gathers against a resident
 //! synthetic arena instead of busy-waiting the modeled sparse time, and
 //! the example prints the measured gather bandwidth next to the cost
 //! model's. `HERCULES_GATHER_BUDGET_MB` caps the arena (tables compact to
-//! fit). Set `HERCULES_SMOKE=1` for a tiny CI-sized horizon.
+//! fit). With `--cache <MiB>` (or `HERCULES_CACHE_MB`) the server is
+//! provisioned with a per-worker embedding hot tier: planning prices
+//! gathers at the predicted hit rate, and under real gathers each front
+//! worker serves the Zipf head from a live LRU shard — the example prints
+//! the predicted vs measured hit rate. Set `HERCULES_SMOKE=1` for a tiny
+//! CI-sized horizon.
 
 use hercules::common::units::{MemBytes, Qps, SimDuration};
 use hercules::hw::calib;
-use hercules::hw::cost::modeled_gather_bw_gbs;
+use hercules::hw::cost::{modeled_gather_bw_gbs, CacheSpec};
 use hercules::hw::server::ServerType;
 use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules::runtime::{
@@ -78,6 +83,26 @@ fn gather_arg() -> String {
     std::env::var("HERCULES_GATHER").unwrap_or_default()
 }
 
+/// `--cache <MiB>` from argv, falling back to `HERCULES_CACHE_MB`; `None`
+/// (absent or 0) leaves the server cache-free.
+fn cache_arg() -> Option<u64> {
+    let mut from_argv = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cache" => from_argv = args.next(),
+            _ if a.starts_with("--cache=") => {
+                from_argv = Some(a["--cache=".len()..].to_string());
+            }
+            _ => {}
+        }
+    }
+    from_argv
+        .or_else(|| std::env::var("HERCULES_CACHE_MB").ok())
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&mib| mib > 0)
+}
+
 fn main() {
     let smoke = std::env::var_os("HERCULES_SMOKE").is_some();
     let gather = match gather_arg().as_str() {
@@ -101,14 +126,24 @@ fn main() {
     // The quickstart scenario: RMC1 production on a T2 under the canonical
     // CPU plan, against its paper SLA.
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
-    let server = ServerType::T2.spec();
+    let mut server = ServerType::T2.spec();
+    if let Some(mib) = cache_arg() {
+        server = server.with_embedding_cache(CacheSpec::per_worker_mib(mib));
+    }
     let plan = PlacementPlan::CpuModel {
         threads: 10,
         workers: 2,
         batch: 256,
     };
     let sla = SlaSpec::p95(model.default_sla());
-    let offered = Qps(400.0);
+    // `HERCULES_OFFERED_QPS` overrides the offered load — CI smoke boxes
+    // may be core-restricted and cannot sustain the default 400 QPS
+    // through the (deliberately heavier) cached gather kernel.
+    let offered = Qps(std::env::var("HERCULES_OFFERED_QPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|q| *q > 0.0)
+        .unwrap_or(400.0));
     let sim_cfg = SimConfig {
         duration: if smoke {
             SimDuration::from_millis(300)
@@ -163,11 +198,39 @@ fn main() {
             aggregate,
             modeled,
         );
+        let implied = calib::implied_gather_efficiency(aggregate, server.mem.peak_bw_gbs);
         println!(
             "{:<14} implied DDR gather efficiency {:.2} (calibrated constant {:.2})",
             "",
-            calib::implied_gather_efficiency(aggregate, server.mem.peak_bw_gbs),
+            implied,
             calib::DDR_GATHER_EFFICIENCY,
+        );
+        // Opt-in feedback: a server recalibrated with the measured
+        // efficiency re-prices the gather roofline from this machine's
+        // numbers instead of the baked-in constant.
+        let recal = server.clone().with_measured_gather_efficiency(implied);
+        println!(
+            "{:<14} recalibrated modeled gather bw: {:.1} GB/s (was {:.1} GB/s)",
+            "",
+            modeled_gather_bw_gbs(&recal, 10, 2),
+            modeled,
+        );
+    }
+    if let Some(c) = &wall.cache {
+        println!(
+            "{:<14} embedding cache: measured hit rate {:.3} (predicted {:.3}) | {} hits / {} misses / {} inserted",
+            "",
+            c.hit_rate(),
+            c.predicted_hit_rate,
+            c.hits,
+            c.misses,
+            c.inserted,
+        );
+    }
+    if wall.latency_overflow > 0 {
+        println!(
+            "{:<14} {} latency samples clamped into the histogram's top bucket",
+            "", wall.latency_overflow,
         );
     }
     println!();

@@ -87,6 +87,7 @@ proptest! {
                 workers: 1,
                 colocated_threads: threads,
                 nmp: None,
+                cache: None,
             };
             cpu_batch_cost(&m.graph, 128, &m.tables, &cfg).latency
         };
