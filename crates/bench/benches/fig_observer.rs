@@ -1,0 +1,251 @@
+//! Fig. O (extension) — observability-plane overhead on the wall-clock
+//! serving path.
+//!
+//! Serves the quickstart scenario (RMC1 production, T2, CPU model plan)
+//! at a fixed offered load under five observation configurations: no
+//! observer, a 1 Hz observer, a 10 Hz observer, 1-in-64 query tracing
+//! with no observer, and the full plane (1 Hz observer + tracing). Every
+//! row runs the identical seeded query stream, so any throughput or tail
+//! delta is pure observation cost: the per-batch seqlock publish, the
+//! sampled trace-ring pushes, and the observer thread's polling reads.
+//!
+//! The headline acceptance number is the achieved-QPS delta of the full
+//! plane against the unobserved baseline — the issue's bound is < 2%,
+//! asserted here. A `CountingAlloc` is installed so every row also
+//! re-proves the hot path allocates nothing while observed.
+//!
+//! Emits `BENCH_observer.json` at the workspace root.
+
+use hercules_bench::{banner, f, fast_mode, write_bench_json, Json, TableWriter};
+use hercules_common::units::{Qps, SimDuration};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{
+    ClockMode, CountingAlloc, RuntimeConfig, RuntimeObserver, ServingRuntime, TraceConfig,
+};
+use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct Row {
+    label: &'static str,
+    observer_hz: f64,
+    trace_one_in: u32,
+}
+
+struct Outcome {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    completed: u64,
+    snapshots: u64,
+    trace_events: u64,
+    hot_allocs: u64,
+    wall_s: f64,
+}
+
+fn serve(rt: &ServingRuntime, offered: Qps, row: &Row) -> Outcome {
+    let (report, snapshots) = if row.observer_hz > 0.0 {
+        let period = SimDuration::from_secs_f64(1.0 / row.observer_hz);
+        let mut obs = RuntimeObserver::every(period);
+        let report = rt.serve_observed(offered, &mut obs);
+        (report, obs.history().len() as u64)
+    } else {
+        (rt.serve(offered), 0)
+    };
+    let wall_s = report.wall_elapsed_s.expect("wall run");
+    Outcome {
+        qps: report.sim.completed_total as f64 / wall_s,
+        p50_ms: report.sim.p50.as_millis_f64(),
+        p99_ms: report.sim.p99.as_millis_f64(),
+        completed: report.sim.completed_total,
+        snapshots,
+        trace_events: report.trace.as_ref().map_or(0, |t| t.len() as u64),
+        hot_allocs: report.hot_allocs,
+        wall_s,
+    }
+}
+
+fn main() {
+    banner("Fig. O: telemetry-plane overhead (observer + sampled tracing)");
+    let fast = fast_mode();
+    let duration = SimDuration::from_millis(if fast { 800 } else { 1600 });
+    let offered = Qps(300.0);
+    let time_scale = 0.25;
+
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuModel {
+        threads: 10,
+        workers: 2,
+        batch: 256,
+    };
+    let sim = SimConfig {
+        duration,
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed: 7,
+    };
+    let base_cfg = RuntimeConfig::from_sim(&sim).with_clock(ClockMode::Wall { time_scale });
+
+    let rows = [
+        Row {
+            label: "off",
+            observer_hz: 0.0,
+            trace_one_in: 0,
+        },
+        Row {
+            label: "obs-1hz",
+            observer_hz: 1.0,
+            trace_one_in: 0,
+        },
+        Row {
+            label: "obs-10hz",
+            observer_hz: 10.0,
+            trace_one_in: 0,
+        },
+        Row {
+            label: "trace-64",
+            observer_hz: 0.0,
+            trace_one_in: 64,
+        },
+        Row {
+            label: "full-plane",
+            observer_hz: 1.0,
+            trace_one_in: 64,
+        },
+    ];
+
+    println!(
+        "scenario: {} production on T2, CpuModel(10 threads, 2 workers, batch 256); \
+         {:.0} QPS offered over {:.1}s virtual ({}x wall), seed 7",
+        model.name(),
+        offered.0,
+        duration.as_secs_f64(),
+        (1.0 / time_scale) as u64,
+    );
+    println!();
+
+    let w = TableWriter::new(&[
+        ("config", 10),
+        ("QPS", 7),
+        ("p50 ms", 7),
+        ("p99 ms", 7),
+        ("snaps", 5),
+        ("spans", 6),
+        ("allocs", 6),
+        ("dQPS %", 7),
+    ]);
+
+    let luts = NmpLutCache::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut baseline_qps = 0.0f64;
+    let mut full_plane_delta = 0.0f64;
+    for row in &rows {
+        let mut cfg = base_cfg;
+        if row.trace_one_in > 0 {
+            cfg = cfg.with_trace(TraceConfig::one_in(row.trace_one_in));
+        }
+        let rt = ServingRuntime::build(&model, server.clone(), &plan, cfg, &luts)
+            .expect("quickstart plan is feasible");
+        let m = serve(&rt, offered, row);
+        if row.label == "off" {
+            baseline_qps = m.qps;
+        }
+        let delta = if baseline_qps > 0.0 {
+            (m.qps - baseline_qps) / baseline_qps
+        } else {
+            0.0
+        };
+        if row.label == "full-plane" {
+            full_plane_delta = delta;
+        }
+        w.row(&[
+            row.label.to_string(),
+            f(m.qps, 1),
+            f(m.p50_ms, 2),
+            f(m.p99_ms, 2),
+            m.snapshots.to_string(),
+            m.trace_events.to_string(),
+            m.hot_allocs.to_string(),
+            format!("{:+.2}", 100.0 * delta),
+        ]);
+        assert_eq!(
+            m.hot_allocs, 0,
+            "{}: observation leaked allocations onto the hot path",
+            row.label
+        );
+        if row.observer_hz > 0.0 {
+            assert!(m.snapshots > 0, "{}: observer never ticked", row.label);
+        }
+        if row.trace_one_in > 0 {
+            assert!(
+                m.trace_events > 0,
+                "{}: tracing recorded nothing",
+                row.label
+            );
+        }
+        json_rows.push(Json::obj([
+            ("config", Json::str(row.label)),
+            ("observer_hz", Json::Num(row.observer_hz)),
+            ("trace_one_in", Json::Int(row.trace_one_in as i64)),
+            ("qps", Json::Num(m.qps)),
+            ("p50_ms", Json::Num(m.p50_ms)),
+            ("p99_ms", Json::Num(m.p99_ms)),
+            ("completed", Json::Int(m.completed as i64)),
+            ("snapshots", Json::Int(m.snapshots as i64)),
+            ("trace_events", Json::Int(m.trace_events as i64)),
+            ("hot_allocs", Json::Int(m.hot_allocs as i64)),
+            ("wall_s", Json::Num(m.wall_s)),
+            ("qps_delta_frac", Json::Num(delta)),
+        ]));
+    }
+
+    println!();
+    println!(
+        "full plane (1 Hz observer + 1-in-64 tracing) QPS delta vs unobserved: {:+.2}%",
+        100.0 * full_plane_delta
+    );
+    assert!(
+        full_plane_delta.abs() < 0.02,
+        "observation overhead blew the 2% budget: {:+.2}%",
+        100.0 * full_plane_delta
+    );
+
+    let doc = Json::obj([
+        ("figure", Json::str("fig_observer")),
+        (
+            "generated_by",
+            Json::str("cargo bench --bench fig_observer"),
+        ),
+        (
+            "scenario",
+            Json::obj([
+                ("model", Json::str(model.name())),
+                ("scale", Json::str("production")),
+                ("server", Json::str("T2")),
+                (
+                    "plan",
+                    Json::str("CpuModel{threads:10,workers:2,batch:256}"),
+                ),
+                ("offered_qps", Json::Num(offered.0)),
+                ("duration_s", Json::Num(duration.as_secs_f64())),
+                ("time_scale", Json::Num(time_scale)),
+                ("seed", Json::Int(7)),
+                ("fast_mode", Json::Bool(fast)),
+            ]),
+        ),
+        ("rows", Json::Arr(json_rows)),
+        (
+            "acceptance",
+            Json::obj([
+                ("full_plane_qps_delta_frac", Json::Num(full_plane_delta)),
+                ("budget_frac", Json::Num(0.02)),
+                ("within_budget", Json::Bool(full_plane_delta.abs() < 0.02)),
+            ]),
+        ),
+    ]);
+    let path = write_bench_json("BENCH_observer.json", &doc);
+    println!("wrote {}", path.display());
+}

@@ -446,6 +446,58 @@ impl LatencyHistogram {
     pub fn overflow_count(&self) -> u64 {
         self.counts[self.counts.len() - 1]
     }
+
+    /// The raw bucket counts (including the trailing overflow bucket).
+    ///
+    /// Counts are cumulative and monotone per bucket, so a *windowed* view
+    /// of a live histogram is just the element-wise difference of two
+    /// reads — see [`quantile_of`](Self::quantile_of).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `p`-quantile of an external count vector interpreted in *this*
+    /// histogram's bucket layout; `None` when the counts are all zero.
+    ///
+    /// This is the delta-window companion to [`quantile`](Self::quantile):
+    /// a telemetry observer subtracts two published snapshots of a live
+    /// histogram's counts and asks the layout for the interval quantile.
+    /// Deltas carry no min/max, so the result is the bucket's geometric
+    /// midpoint unclamped, and overflow-bucket ranks resolve to the
+    /// overflow bucket's lower edge (a deliberate under-estimate: the true
+    /// tenant is only known to be at or beyond it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]` or `counts` has a different
+    /// length than this histogram's layout.
+    pub fn quantile_of(&self, counts: &[u64], p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        assert_eq!(
+            counts.len(),
+            self.counts.len(),
+            "count vector does not match this histogram's layout"
+        );
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge_lo = self.lo * self.ratio.powi(i as i32);
+                let v = if i + 1 == self.counts.len() {
+                    edge_lo
+                } else {
+                    edge_lo * self.ratio.sqrt()
+                };
+                return Some(v);
+            }
+        }
+        unreachable!("rank <= total observations");
+    }
 }
 
 /// A log-spaced histogram for printing distribution shapes.
@@ -717,6 +769,50 @@ mod tests {
         // The extreme tail resolves to the observed max, which the
         // overflow count flags as bucket-unresolved.
         assert_eq!(ab.quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn latency_histogram_delta_quantiles_match_layout() {
+        // A "windowed" view is the element-wise difference of two reads of
+        // a growing histogram. Its quantile through the layout must agree
+        // with a histogram that recorded only the window's samples.
+        let mut cum = LatencyHistogram::default_latency();
+        let mut early = LatencyHistogram::default_latency();
+        for x in [1e-3, 2e-3, 5e-3] {
+            cum.record(x);
+            early.record(x);
+        }
+        let first: Vec<u64> = cum.counts().to_vec();
+        let mut window_only = LatencyHistogram::default_latency();
+        for x in [1e-2, 2e-2, 3e-2, 9e-2] {
+            cum.record(x);
+            window_only.record(x);
+        }
+        let delta: Vec<u64> = cum
+            .counts()
+            .iter()
+            .zip(&first)
+            .map(|(a, b)| a - b)
+            .collect();
+        assert_eq!(delta.iter().sum::<u64>(), 4);
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let via_delta = cum.quantile_of(&delta, p).unwrap();
+            let direct = window_only.quantile(p).unwrap();
+            // Same bucket, so within one bucket width (midpoint vs the
+            // clamped-to-extrema direct read).
+            assert!(
+                (via_delta / direct).ln().abs() <= cum.resolution().ln() + 1e-12,
+                "p={p}: delta {via_delta} vs direct {direct}"
+            );
+        }
+        // Empty delta: no quantile.
+        let zeros = vec![0u64; first.len()];
+        assert_eq!(cum.quantile_of(&zeros, 0.99), None);
+        // Overflow-bucket ranks resolve to the overflow lower edge.
+        let mut top = vec![0u64; first.len()];
+        *top.last_mut().unwrap() = 1;
+        let v = cum.quantile_of(&top, 1.0).unwrap();
+        assert!((999.0..1001.0).contains(&v), "overflow edge, got {v}");
     }
 
     #[test]

@@ -78,6 +78,28 @@ impl Default for ServiceEwma {
     }
 }
 
+/// Live admitted/shed counters, shared between the dispatcher (sole
+/// writer) and any observer (readers): the windowed shed rate is the
+/// primary overload signal the telemetry plane surfaces, so the counts
+/// must be readable mid-run without touching the dispatch path.
+#[derive(Debug, Default)]
+pub struct AdmissionCounters {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl AdmissionCounters {
+    /// Queries admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Queries shed so far (budget or backpressure).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
 /// Decides, per arriving query, whether to admit or shed.
 #[derive(Debug)]
 pub struct AdmissionController {
@@ -87,8 +109,7 @@ pub struct AdmissionController {
     /// Live measured per-sub service feed; when attached (wall-clock runs
     /// with real gathers), it overrides the static modeled estimate.
     measured: Option<Arc<ServiceEwma>>,
-    admitted: u64,
-    shed: u64,
+    counters: Arc<AdmissionCounters>,
 }
 
 impl AdmissionController {
@@ -100,9 +121,14 @@ impl AdmissionController {
             per_sub_s,
             parallelism: parallelism.max(1) as f64,
             measured: None,
-            admitted: 0,
-            shed: 0,
+            counters: Arc::new(AdmissionCounters::default()),
         }
+    }
+
+    /// The live admitted/shed counters (observers hold a clone and read
+    /// them mid-run; the controller is the only writer).
+    pub fn counters(&self) -> Arc<AdmissionCounters> {
+        Arc::clone(&self.counters)
     }
 
     /// Attaches a measured per-sub service feed. Until its first sample
@@ -135,9 +161,9 @@ impl AdmissionController {
             Some(budget) => self.estimated_delay_s(queued_subs) <= budget,
         };
         if ok {
-            self.admitted += 1;
+            self.counters.admitted.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.shed += 1;
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
         }
         ok
     }
@@ -147,18 +173,20 @@ impl AdmissionController {
     /// dispatcher tried to enqueue the already-admitted query's subs).
     /// Saturates when called without a matching prior admit.
     pub fn shed_backpressure(&mut self) {
-        self.admitted = self.admitted.saturating_sub(1);
-        self.shed += 1;
+        let a = &self.counters.admitted;
+        let cur = a.load(Ordering::Relaxed);
+        a.store(cur.saturating_sub(1), Ordering::Relaxed);
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Queries admitted so far.
     pub fn admitted(&self) -> u64 {
-        self.admitted
+        self.counters.admitted()
     }
 
     /// Queries shed so far (budget or backpressure).
     pub fn shed(&self) -> u64 {
-        self.shed
+        self.counters.shed()
     }
 }
 
@@ -197,6 +225,19 @@ mod tests {
         c.shed_backpressure();
         assert_eq!(c.admitted(), 0);
         assert_eq!(c.shed(), 1);
+    }
+
+    #[test]
+    fn counters_are_shared_and_live() {
+        let mut c = AdmissionController::new(&AdmissionPolicy::default(), 1e-3, 1);
+        let live = c.counters();
+        assert_eq!((live.admitted(), live.shed()), (0, 0));
+        assert!(c.admit(0));
+        // An observer holding the handle sees the count without asking the
+        // controller.
+        assert_eq!(live.admitted(), 1);
+        c.shed_backpressure();
+        assert_eq!((live.admitted(), live.shed()), (0, 1));
     }
 
     #[test]

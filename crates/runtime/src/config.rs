@@ -126,6 +126,48 @@ impl AdmissionPolicy {
     }
 }
 
+/// Sampled query tracing (the flight recorder; see
+/// [`trace`](crate::trace)).
+///
+/// Off by default: tracing touches the hot path (one stateless hash per
+/// sub-query plus a ring write for sampled ones), so it is opt-in even
+/// though the measured overhead at 1-in-64 is under the noise floor
+/// (`BENCH_observer.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Trace roughly one query in this many (`0` disables tracing, `1`
+    /// traces every query). The decision is a pure function of the run
+    /// seed and the query index, so virtual-clock traces are reproducible.
+    pub sample_one_in: u32,
+    /// Capacity of each worker's span ring; once full, the newest events
+    /// overwrite the oldest.
+    pub ring_capacity: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_one_in: 0,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing one query in `n` with the default ring capacity.
+    pub fn one_in(n: u32) -> Self {
+        TraceConfig {
+            sample_one_in: n,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Whether any query can be traced.
+    pub fn enabled(&self) -> bool {
+        self.sample_one_in > 0
+    }
+}
+
 /// Everything a runtime run needs beyond the model/server/plan triple.
 ///
 /// The horizon/warm-up/seed fields mirror [`SimConfig`] exactly (and
@@ -156,6 +198,8 @@ pub struct RuntimeConfig {
     /// Worker→core placement for the wall clock's stage pools. Ignored by
     /// the virtual clock.
     pub affinity: PinPolicy,
+    /// Sampled query tracing (off by default).
+    pub trace: TraceConfig,
 }
 
 impl RuntimeConfig {
@@ -174,6 +218,7 @@ impl RuntimeConfig {
             admission: AdmissionPolicy::default(),
             gather: GatherMode::Synthetic,
             affinity: PinPolicy::None,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -210,6 +255,12 @@ impl RuntimeConfig {
     /// Builder: sets the wall-clock worker pinning policy.
     pub fn with_affinity(mut self, affinity: PinPolicy) -> Self {
         self.affinity = affinity;
+        self
+    }
+
+    /// Builder: sets the sampled-tracing configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -261,6 +312,17 @@ mod tests {
         assert_eq!(a.budget, Some(SimDuration::from_millis(10)));
         let clamped = AdmissionPolicy::for_sla(&sla, -1.0);
         assert_eq!(clamped.budget, Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn trace_config_defaults_off() {
+        let cfg = RuntimeConfig::default();
+        assert!(!cfg.trace.enabled());
+        let traced = cfg.with_trace(TraceConfig::one_in(64));
+        assert!(traced.trace.enabled());
+        assert_eq!(traced.trace.sample_one_in, 64);
+        assert_eq!(traced.trace.ring_capacity, 4096);
+        assert!(!TraceConfig::one_in(0).enabled());
     }
 
     #[test]

@@ -54,23 +54,32 @@ pub mod admission;
 pub mod affinity;
 pub mod config;
 pub mod memory;
+pub mod observe;
 pub mod report;
 pub mod search;
 pub mod serve;
 pub mod telemetry;
+pub mod trace;
 
 mod queue;
 mod stage;
 mod virt;
 mod wall;
 
-pub use admission::{AdmissionController, ServiceEwma};
+pub use admission::{AdmissionController, AdmissionCounters, ServiceEwma};
 pub use affinity::{CorePlan, PinPolicy};
-pub use config::{AdmissionPolicy, BatchPolicy, ClockMode, GatherMode, RuntimeConfig};
+pub use config::{AdmissionPolicy, BatchPolicy, ClockMode, GatherMode, RuntimeConfig, TraceConfig};
 pub use memory::{
     CacheOutcome, EmbeddingArena, EmbeddingCacheShard, GatherOutcome, GatherScratch, InitPlacement,
+};
+pub use observe::{
+    prometheus_text, snapshot_json, JsonLines, PlaneSnapshot, PrometheusFile, RuntimeObserver,
+    SnapshotSink, StageSnapshot, StatusLine,
 };
 pub use report::{CacheStats, GatherStats, RuntimeReport, StageSummary};
 pub use search::max_qps_under_sla_live;
 pub use serve::ServingRuntime;
-pub use telemetry::{thread_allocs, CountingAlloc, StageKind, WorkerTelemetry};
+pub use telemetry::{
+    thread_allocs, CountingAlloc, StageKind, TelemetrySlot, WorkerSnap, WorkerTelemetry,
+};
+pub use trace::{chrome_trace_json, SpanKind, TraceEvent, TraceRing, TraceSampler};

@@ -3,6 +3,7 @@
 //! cleanly (consumers drain what is left, then observe the close).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
@@ -30,6 +31,10 @@ pub(crate) struct SyncQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Lock-free mirror of the current depth, maintained under the lock:
+    /// observers read queue depth without contending on the mutex the
+    /// serving path uses.
+    depth: AtomicUsize,
 }
 
 impl<T> SyncQueue<T> {
@@ -44,12 +49,19 @@ impl<T> SyncQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
         }
     }
 
     /// Current depth (racy by nature; used for admission estimates).
     pub fn len(&self) -> usize {
         self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Current depth without taking the lock (racy by nature; the
+    /// observer's queue-depth gauge).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 
     /// Pushes every item or none: fails without enqueueing anything when
@@ -61,6 +73,7 @@ impl<T> SyncQueue<T> {
             return false;
         }
         g.items.extend(items);
+        self.depth.store(g.items.len(), Ordering::Relaxed);
         drop(g);
         self.not_empty.notify_all();
         true
@@ -77,6 +90,7 @@ impl<T> SyncQueue<T> {
             return false;
         }
         g.items.push_back(item);
+        self.depth.store(g.items.len(), Ordering::Relaxed);
         drop(g);
         self.not_empty.notify_one();
         true
@@ -86,8 +100,11 @@ impl<T> SyncQueue<T> {
     /// Used by the GPU-batch buffer freelist, where an empty freelist just
     /// means "allocate a fresh buffer".
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.inner.lock().expect("queue poisoned").items.pop_front();
+        let mut g = self.inner.lock().expect("queue poisoned");
+        let item = g.items.pop_front();
         if item.is_some() {
+            self.depth.store(g.items.len(), Ordering::Relaxed);
+            drop(g);
             self.not_full.notify_one();
         }
         item
@@ -99,6 +116,7 @@ impl<T> SyncQueue<T> {
         let mut g = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some(item) = g.items.pop_front() {
+                self.depth.store(g.items.len(), Ordering::Relaxed);
                 drop(g);
                 self.not_full.notify_one();
                 return Some(item);
@@ -116,6 +134,7 @@ impl<T> SyncQueue<T> {
         let mut g = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some(item) = g.items.pop_front() {
+                self.depth.store(g.items.len(), Ordering::Relaxed);
                 drop(g);
                 self.not_full.notify_one();
                 return PopResult::Item(item);
@@ -159,7 +178,9 @@ mod tests {
         let q = SyncQueue::new(8);
         assert!(q.try_push_all([1, 2, 3].into_iter()));
         assert_eq!(q.len(), 3);
+        assert_eq!(q.depth(), 3, "lock-free mirror tracks the depth");
         assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.depth(), 2);
         q.close();
         // Drain continues after close...
         assert_eq!(q.pop_wait(), Some(2));

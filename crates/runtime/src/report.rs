@@ -9,6 +9,7 @@ use hercules_sim::{summarize_load, Buckets, LatencyBreakdown, LoadSummary, SimRe
 
 use crate::config::{ClockMode, RuntimeConfig};
 use crate::telemetry::{StageKind, WorkerTelemetry};
+use crate::trace::{TraceEvent, TraceRing};
 
 /// Merged view of one worker pool.
 #[derive(Debug, Clone)]
@@ -131,6 +132,10 @@ pub struct RuntimeReport {
     pub hot_allocs: u64,
     /// Post-warm-up batches the allocation counter was sampled over.
     pub hot_samples: u64,
+    /// Sampled query spans merged from every worker's flight recorder,
+    /// sorted by start time (`Some` only when the run configured tracing;
+    /// export with [`chrome_trace_json`](crate::trace::chrome_trace_json)).
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 impl RuntimeReport {
@@ -180,6 +185,8 @@ pub(crate) struct RunTotals {
     /// gathers through live cache shards; `None` turns the report's cache
     /// field off.
     pub cache_predicted: Option<f64>,
+    /// The dispatcher's span ring (admit instants), when tracing ran.
+    pub dispatch_trace: Option<TraceRing>,
 }
 
 /// Folds per-worker telemetry into the final report. Workers are merged
@@ -247,6 +254,21 @@ pub(crate) fn assemble(
     });
 
     let stages = summarize_stages(&workers);
+
+    // Merge sampled spans from every flight recorder into one timeline.
+    // Workers are visited in pool-then-index order and the sort is total
+    // (ties broken by track/query/kind), so virtual-mode traces are
+    // deterministic.
+    let trace = cfg.trace.enabled().then(|| {
+        let mut events: Vec<TraceEvent> = totals
+            .dispatch_trace
+            .iter()
+            .chain(workers.iter().filter_map(|w| w.trace_ring.as_ref()))
+            .flat_map(|r| r.events_in_order())
+            .collect();
+        events.sort_by_key(|e| (e.start, e.tid, e.query, e.kind.label()));
+        events
+    });
 
     let LoadSummary {
         cpu_activity,
@@ -316,6 +338,7 @@ pub(crate) fn assemble(
         latency_overflow: e2e.overflow_count(),
         hot_allocs,
         hot_samples,
+        trace,
     }
 }
 

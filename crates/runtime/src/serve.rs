@@ -14,6 +14,7 @@ use hercules_workload::query::Query;
 use crate::affinity::CorePlan;
 use crate::config::{ClockMode, GatherMode, RuntimeConfig};
 use crate::memory::{EmbeddingArena, InitPlacement};
+use crate::observe::RuntimeObserver;
 use crate::report::RuntimeReport;
 use crate::{virt, wall};
 
@@ -91,11 +92,37 @@ impl ServingRuntime {
     /// [`ServingRuntime::serve`] with an overriding configuration (rate
     /// searches shorten the horizon per probe without rebuilding).
     pub fn serve_with(&self, offered: Qps, cfg: &RuntimeConfig) -> RuntimeReport {
+        self.serve_observed_with(offered, cfg, None)
+    }
+
+    /// [`ServingRuntime::serve`] watched by a live observer: workers
+    /// publish windowed snapshots the observer assembles and streams while
+    /// the run is serving. Under the wall clock a real observer thread
+    /// polls at the observer's period; under the virtual clock snapshots
+    /// are taken at exact virtual-time boundaries and the report stays
+    /// bitwise-identical to an unobserved run. In both modes the observer
+    /// takes one final snapshot after workers quiesce, so its history sums
+    /// exactly to the end-of-run report.
+    pub fn serve_observed(&self, offered: Qps, observer: &mut RuntimeObserver) -> RuntimeReport {
+        self.serve_observed_with(offered, &self.cfg, Some(observer))
+    }
+
+    fn serve_observed_with(
+        &self,
+        offered: Qps,
+        cfg: &RuntimeConfig,
+        observer: Option<&mut RuntimeObserver>,
+    ) -> RuntimeReport {
         match cfg.clock {
-            ClockMode::Virtual => virt::run(&self.topo, &self.server, cfg, offered),
-            ClockMode::Wall { .. } => {
-                wall::run(&self.topo, &self.server, cfg, offered, self.arena_for(cfg))
-            }
+            ClockMode::Virtual => virt::run(&self.topo, &self.server, cfg, offered, observer),
+            ClockMode::Wall { .. } => wall::run(
+                &self.topo,
+                &self.server,
+                cfg,
+                offered,
+                self.arena_for(cfg),
+                observer,
+            ),
         }
     }
 

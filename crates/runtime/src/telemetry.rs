@@ -9,6 +9,9 @@
 //! are the simulator's own [`Buckets`], so the merged run summarizes into
 //! power/activity figures exactly the way `sim::engine` does.
 
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
 use hercules_common::stats::LatencyHistogram;
 use hercules_common::units::{SimDuration, SimTime};
 use hercules_hw::cost::BatchCost;
@@ -16,6 +19,7 @@ use hercules_hw::cost::BatchCost;
 use hercules_sim::Buckets;
 
 use crate::stage::QueryPhases;
+use crate::trace::{stage_tid, SpanKind, TraceEvent, TraceRing};
 
 /// Which pool a worker belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +105,12 @@ pub struct WorkerTelemetry {
     pub hot_samples: u64,
     /// Bucketed resource accounting (merged into the run summary).
     pub(crate) buckets: Buckets,
+    /// Live snapshot slot the worker publishes into at each batch end
+    /// (attached only when an observer watches the run).
+    pub(crate) slot: Option<Arc<TelemetrySlot>>,
+    /// Fixed-capacity flight recorder for sampled query spans (attached
+    /// only when tracing is configured).
+    pub(crate) trace_ring: Option<TraceRing>,
 }
 
 impl WorkerTelemetry {
@@ -132,6 +142,68 @@ impl WorkerTelemetry {
             hot_allocs: 0,
             hot_samples: 0,
             buckets: Buckets::new(duration),
+            slot: None,
+            trace_ring: None,
+        }
+    }
+
+    /// Builder: attaches the live snapshot slot this worker publishes
+    /// into (see [`TelemetrySlot`]).
+    pub(crate) fn with_slot(mut self, slot: Arc<TelemetrySlot>) -> Self {
+        self.slot = Some(slot);
+        self
+    }
+
+    /// Builder: attaches a trace ring of `capacity` events. The ring
+    /// preallocates here — at worker start, before any batch — so the
+    /// serving path never grows it.
+    pub(crate) fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_ring = Some(TraceRing::with_capacity(capacity));
+        self
+    }
+
+    /// Records one span event for a sampled query (no-op without a ring;
+    /// never allocates with one).
+    #[inline]
+    pub(crate) fn trace(&mut self, query: u32, kind: SpanKind, start: SimTime, dur: SimDuration) {
+        if let Some(ring) = &mut self.trace_ring {
+            ring.push(TraceEvent {
+                query,
+                tid: stage_tid(self.stage, self.worker),
+                kind,
+                start,
+                dur,
+            });
+        }
+    }
+
+    /// Publishes the current counter and histogram state into the
+    /// attached snapshot slot (no-op when unobserved). One seqlock write
+    /// window of relaxed atomic stores: no locks, no allocation.
+    #[inline]
+    pub(crate) fn publish(&self) {
+        if let Some(slot) = &self.slot {
+            slot.publish_from(self);
+        }
+    }
+
+    /// The worker's current published state as a plain snapshot (the
+    /// virtual clock's observer reads telemetry directly — it owns the
+    /// event loop, so no seqlock is needed).
+    pub(crate) fn snapshot(&self) -> WorkerSnap {
+        WorkerSnap {
+            batches: self.batches,
+            items: self.items,
+            busy_ns: self.busy.as_nanos(),
+            completed: self.completed,
+            completed_total: self.completed_total,
+            gather_bytes: self.gather_bytes,
+            gather_rows: self.gather_rows,
+            gather_wall_s: self.gather_wall_s,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            queue_wait: self.queue_wait.counts().to_vec(),
+            e2e: self.e2e.counts().to_vec(),
         }
     }
 
@@ -247,6 +319,221 @@ impl WorkerTelemetry {
             self.gather_bytes as f64 / self.gather_wall_s / 1e9
         } else {
             0.0
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live snapshot publication (the observability plane's write side).
+
+/// A consistent copy of one worker's published telemetry state.
+///
+/// Counters are cumulative since worker start; an observer differences two
+/// snapshots to get a window. Histogram state is the raw bucket counts in
+/// [`LatencyHistogram::default_latency`]'s layout, so interval quantiles
+/// come from [`LatencyHistogram::quantile_of`] on the delta.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerSnap {
+    /// Batches served.
+    pub batches: u64,
+    /// Items served.
+    pub items: u64,
+    /// Total service time spent, in nanoseconds.
+    pub busy_ns: u64,
+    /// Queries retired within the measurement window.
+    pub completed: u64,
+    /// Queries retired over the whole run.
+    pub completed_total: u64,
+    /// Embedding bytes read by real gathers.
+    pub gather_bytes: u64,
+    /// Rows gathered.
+    pub gather_rows: u64,
+    /// Wall seconds inside gather kernels.
+    pub gather_wall_s: f64,
+    /// Hot-tier cache hits.
+    pub cache_hits: u64,
+    /// Hot-tier cache misses.
+    pub cache_misses: u64,
+    /// Queue-wait histogram bucket counts.
+    pub queue_wait: Vec<u64>,
+    /// End-to-end latency histogram bucket counts (in-window completions).
+    pub e2e: Vec<u64>,
+}
+
+impl WorkerSnap {
+    /// An all-zero snapshot with histogram vectors of `hist_len` buckets.
+    pub fn zeroed(hist_len: usize) -> Self {
+        WorkerSnap {
+            queue_wait: vec![0; hist_len],
+            e2e: vec![0; hist_len],
+            ..WorkerSnap::default()
+        }
+    }
+
+    /// Accumulates another worker's snapshot into this one (stage-level
+    /// aggregation). Exact: counters sum, bucket counts sum element-wise.
+    pub fn absorb(&mut self, other: &WorkerSnap) {
+        self.batches += other.batches;
+        self.items += other.items;
+        self.busy_ns += other.busy_ns;
+        self.completed += other.completed;
+        self.completed_total += other.completed_total;
+        self.gather_bytes += other.gather_bytes;
+        self.gather_rows += other.gather_rows;
+        self.gather_wall_s += other.gather_wall_s;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        for (a, b) in self.queue_wait.iter_mut().zip(&other.queue_wait) {
+            *a += b;
+        }
+        for (a, b) in self.e2e.iter_mut().zip(&other.e2e) {
+            *a += b;
+        }
+    }
+
+    /// The windowed difference `self - prev`. Exact for every counter —
+    /// published state is monotone, so the telescoping sum of all window
+    /// deltas equals the final cumulative state (the conservation property
+    /// `tests/observer_props.rs` asserts).
+    pub fn delta_since(&self, prev: &WorkerSnap) -> WorkerSnap {
+        WorkerSnap {
+            batches: self.batches - prev.batches,
+            items: self.items - prev.items,
+            busy_ns: self.busy_ns - prev.busy_ns,
+            completed: self.completed - prev.completed,
+            completed_total: self.completed_total - prev.completed_total,
+            gather_bytes: self.gather_bytes - prev.gather_bytes,
+            gather_rows: self.gather_rows - prev.gather_rows,
+            gather_wall_s: self.gather_wall_s - prev.gather_wall_s,
+            cache_hits: self.cache_hits - prev.cache_hits,
+            cache_misses: self.cache_misses - prev.cache_misses,
+            queue_wait: self
+                .queue_wait
+                .iter()
+                .zip(&prev.queue_wait)
+                .map(|(a, b)| a - b)
+                .collect(),
+            e2e: self.e2e.iter().zip(&prev.e2e).map(|(a, b)| a - b).collect(),
+        }
+    }
+}
+
+/// A wait-free single-writer snapshot slot: the worker publishes its
+/// telemetry state with one seqlock write window per batch, the observer
+/// thread reads a consistent copy without ever blocking the writer.
+///
+/// All data fields are relaxed atomics (no torn reads are possible even
+/// mid-window; the sequence number only guards *cross-field* consistency),
+/// so the protocol is sound under the Rust memory model while compiling to
+/// plain loads and stores on x86. The writer never waits: an observer
+/// reading concurrently simply retries. Publication stores nothing beyond
+/// this slot — no locks, no allocation — keeping the serving path's cost
+/// to one release-publish per batch (~16 KB of relaxed stores, microseconds
+/// against millisecond batches; measured in `BENCH_observer.json`).
+#[derive(Debug)]
+pub struct TelemetrySlot {
+    /// Seqlock sequence: odd while a write window is open.
+    seq: AtomicU64,
+    batches: AtomicU64,
+    items: AtomicU64,
+    busy_ns: AtomicU64,
+    completed: AtomicU64,
+    completed_total: AtomicU64,
+    gather_bytes: AtomicU64,
+    gather_rows: AtomicU64,
+    /// `f64::to_bits` of the gather wall seconds.
+    gather_wall_s_bits: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_wait: Box<[AtomicU64]>,
+    e2e: Box<[AtomicU64]>,
+}
+
+impl TelemetrySlot {
+    /// A slot whose histogram arrays hold `hist_len` buckets (must match
+    /// the publishing worker's histogram layout).
+    pub fn new(hist_len: usize) -> Self {
+        let zeros = || -> Box<[AtomicU64]> { (0..hist_len).map(|_| AtomicU64::new(0)).collect() };
+        TelemetrySlot {
+            seq: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            completed_total: AtomicU64::new(0),
+            gather_bytes: AtomicU64::new(0),
+            gather_rows: AtomicU64::new(0),
+            gather_wall_s_bits: AtomicU64::new(0f64.to_bits()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_wait: zeros(),
+            e2e: zeros(),
+        }
+    }
+
+    /// Writer side: copies the worker's current state into the slot under
+    /// one seqlock window. Single-writer by construction (each worker owns
+    /// its slot).
+    pub(crate) fn publish_from(&self, t: &WorkerTelemetry) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s + 1, Ordering::Relaxed);
+        // Order the odd sequence before the data stores.
+        fence(Ordering::Release);
+        self.batches.store(t.batches, Ordering::Relaxed);
+        self.items.store(t.items, Ordering::Relaxed);
+        self.busy_ns.store(t.busy.as_nanos(), Ordering::Relaxed);
+        self.completed.store(t.completed, Ordering::Relaxed);
+        self.completed_total
+            .store(t.completed_total, Ordering::Relaxed);
+        self.gather_bytes.store(t.gather_bytes, Ordering::Relaxed);
+        self.gather_rows.store(t.gather_rows, Ordering::Relaxed);
+        self.gather_wall_s_bits
+            .store(t.gather_wall_s.to_bits(), Ordering::Relaxed);
+        self.cache_hits.store(t.cache_hits, Ordering::Relaxed);
+        self.cache_misses.store(t.cache_misses, Ordering::Relaxed);
+        for (dst, src) in self.queue_wait.iter().zip(t.queue_wait.counts()) {
+            dst.store(*src, Ordering::Relaxed);
+        }
+        for (dst, src) in self.e2e.iter().zip(t.e2e.counts()) {
+            dst.store(*src, Ordering::Relaxed);
+        }
+        // Order the data stores before the even sequence.
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Reader side: retries until it gets a copy with a stable, even
+    /// sequence number. Wait-free for the writer; the reader may allocate
+    /// (it runs on the observer thread, off the serving path).
+    pub fn read(&self) -> WorkerSnap {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let snap = WorkerSnap {
+                batches: self.batches.load(Ordering::Relaxed),
+                items: self.items.load(Ordering::Relaxed),
+                busy_ns: self.busy_ns.load(Ordering::Relaxed),
+                completed: self.completed.load(Ordering::Relaxed),
+                completed_total: self.completed_total.load(Ordering::Relaxed),
+                gather_bytes: self.gather_bytes.load(Ordering::Relaxed),
+                gather_rows: self.gather_rows.load(Ordering::Relaxed),
+                gather_wall_s: f64::from_bits(self.gather_wall_s_bits.load(Ordering::Relaxed)),
+                cache_hits: self.cache_hits.load(Ordering::Relaxed),
+                cache_misses: self.cache_misses.load(Ordering::Relaxed),
+                queue_wait: self
+                    .queue_wait
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
+                e2e: self.e2e.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            };
+            // Order the data loads before the re-check.
+            fence(Ordering::Acquire);
+            if self.seq.load(Ordering::Relaxed) == s1 {
+                return snap;
+            }
         }
     }
 }
@@ -393,6 +680,81 @@ mod tests {
         assert_eq!(t.hot_samples, 2);
         // No counting allocator installed in unit tests.
         assert_eq!(thread_allocs(), 0);
+    }
+
+    #[test]
+    fn snapshot_slot_round_trips_published_state() {
+        let hist_len = LatencyHistogram::default_latency().counts().len();
+        let slot = Arc::new(TelemetrySlot::new(hist_len));
+        let mut t = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1))
+            .with_slot(Arc::clone(&slot));
+        // Before any publish the slot reads as all-zero.
+        assert_eq!(slot.read(), WorkerSnap::zeroed(hist_len));
+
+        t.record_cpu(
+            SimTime::from_millis(100),
+            SimDuration::from_micros(50),
+            128,
+            &cost(4),
+        );
+        let phases = QueryPhases {
+            queuing_s: 5e-5,
+            loading_s: 0.0,
+            inference_s: 4e-3,
+        };
+        t.record_completion(SimDuration::from_millis(4), &phases, true);
+        t.publish();
+        let first = slot.read();
+        assert_eq!(first, t.snapshot(), "slot mirrors the worker exactly");
+        assert_eq!(first.batches, 1);
+        assert_eq!(first.completed, 1);
+        assert_eq!(first.queue_wait.iter().sum::<u64>(), 1);
+
+        t.record_cpu(
+            SimTime::from_millis(200),
+            SimDuration::from_micros(80),
+            64,
+            &cost(2),
+        );
+        t.publish();
+        let second = slot.read();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.batches, 1);
+        assert_eq!(delta.items, 64);
+        assert_eq!(delta.completed, 0);
+        assert_eq!(delta.queue_wait.iter().sum::<u64>(), 1);
+
+        // Stage aggregation is exact.
+        let mut agg = WorkerSnap::zeroed(hist_len);
+        agg.absorb(&first);
+        agg.absorb(&delta);
+        assert_eq!(agg, second, "first + (second - first) == second");
+    }
+
+    #[test]
+    fn trace_ring_attaches_and_tags_worker_track() {
+        let mut t =
+            WorkerTelemetry::new(StageKind::Gpu, 2, SimDuration::from_secs(1)).with_trace(8);
+        t.trace(
+            17,
+            crate::trace::SpanKind::Gpu,
+            SimTime::from_micros(5),
+            SimDuration::from_micros(3),
+        );
+        let ring = t.trace_ring.as_ref().unwrap();
+        let evs = ring.events_in_order();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].tid, crate::trace::stage_tid(StageKind::Gpu, 2));
+        assert_eq!(evs[0].query, 17);
+        // Without a ring, tracing is a no-op.
+        let mut bare = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1));
+        bare.trace(
+            1,
+            crate::trace::SpanKind::Front,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        );
+        assert!(bare.trace_ring.is_none());
     }
 
     #[test]

@@ -18,10 +18,12 @@ use hercules_sim::{split_sizes, Topology};
 
 use crate::admission::AdmissionController;
 use crate::config::RuntimeConfig;
+use crate::observe::{PlaneState, RuntimeObserver, StageState};
 use crate::report::{assemble, RunTotals, RuntimeReport};
 use crate::serve::{arrivals, RunWindow};
 use crate::stage::{BackKind, QueryTable, Stages, Sub};
 use crate::telemetry::{StageKind, WorkerTelemetry};
+use crate::trace::{SpanKind, TraceEvent, TraceRing, TraceSampler, DISPATCH_TID};
 
 #[derive(Debug)]
 enum Ev {
@@ -107,6 +109,10 @@ struct Exec<'a> {
     gpu_telem: Vec<WorkerTelemetry>,
     pcie_free: SimTime,
     batches: Vec<Batch>,
+    // Observability plane.
+    sampler: TraceSampler,
+    /// Dispatcher-side ring for admit instants (workers own their rings).
+    admit_ring: Option<TraceRing>,
 }
 
 impl<'a> Exec<'a> {
@@ -139,6 +145,17 @@ impl<'a> Exec<'a> {
         }
         let n_subs = sizes.len() as u32;
         self.table.admit(query, n_subs);
+        if self.sampler.sampled(query) {
+            if let Some(ring) = &mut self.admit_ring {
+                ring.push(TraceEvent {
+                    query,
+                    tid: DISPATCH_TID,
+                    kind: SpanKind::Admit,
+                    start: now,
+                    dur: SimDuration::ZERO,
+                });
+            }
+        }
         let subs = sizes.into_iter().map(|items| Sub {
             query,
             items,
@@ -167,7 +184,12 @@ impl<'a> Exec<'a> {
             let wait = now.saturating_since(sub.ready);
             self.table.add_queuing(&sub, wait);
             self.table.add_inference(&sub, cost.latency);
-            self.front_telem[worker as usize].record_cpu(now, wait, sub.items, &cost);
+            let telem = &mut self.front_telem[worker as usize];
+            telem.record_cpu(now, wait, sub.items, &cost);
+            if self.sampler.sampled(sub.query) {
+                telem.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                telem.trace(sub.query, SpanKind::Front, now, cost.latency);
+            }
             self.push(now + cost.latency, Ev::FrontDone { worker, sub });
         }
     }
@@ -183,7 +205,12 @@ impl<'a> Exec<'a> {
             let wait = now.saturating_since(sub.ready);
             self.table.add_queuing(&sub, wait);
             self.table.add_inference(&sub, cost.latency);
-            self.back_telem[worker as usize].record_cpu(now, wait, sub.items, &cost);
+            let telem = &mut self.back_telem[worker as usize];
+            telem.record_cpu(now, wait, sub.items, &cost);
+            if self.sampler.sampled(sub.query) {
+                telem.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                telem.trace(sub.query, SpanKind::Back, now, cost.latency);
+            }
             self.push(now + cost.latency, Ev::BackDone { worker, sub });
         }
     }
@@ -252,6 +279,17 @@ impl<'a> Exec<'a> {
             self.pcie_free = load_start + load_dur;
             self.gpu_telem[ctx as usize].record_pcie(load_start, load_dur);
             let compute = oracle.service_cost(items).latency;
+            if self.sampler.enabled() {
+                for sub in &subs {
+                    if self.sampler.sampled(sub.query) {
+                        let telem = &mut self.gpu_telem[ctx as usize];
+                        let wait = load_start.saturating_since(sub.ready);
+                        telem.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                        telem.trace(sub.query, SpanKind::Load, load_start, load_dur);
+                        telem.trace(sub.query, SpanKind::Gpu, load_start + load_dur, compute);
+                    }
+                }
+            }
             let batch = self.batches.len();
             self.batches.push(Batch {
                 subs,
@@ -273,12 +311,59 @@ impl<'a> Exec<'a> {
                 StageKind::Gpu => &mut self.gpu_telem[worker as usize],
             };
             telem.record_completion(lat, &phases, in_window);
+            if self.sampler.sampled(sub.query) {
+                telem.trace(sub.query, SpanKind::Complete, now, SimDuration::ZERO);
+            }
         }
     }
 
-    fn run(&mut self) {
+    /// Cumulative state of every stage at boundary `t` (read straight from
+    /// the telemetry — the virtual observer shares the event loop, so no
+    /// seqlock is needed).
+    fn plane_state(&self, t: SimTime) -> PlaneState {
+        let mut stages = Vec::new();
+        let mut add = |telems: &[WorkerTelemetry], stage: StageKind, depth: usize| {
+            let Some((first, rest)) = telems.split_first() else {
+                return;
+            };
+            let mut cum = first.snapshot();
+            for w in rest {
+                cum.absorb(&w.snapshot());
+            }
+            stages.push(StageState {
+                stage,
+                workers: telems.len() as u32,
+                cum,
+                queue_depth: depth,
+            });
+        };
+        add(&self.front_telem, StageKind::Front, self.front_queue.len());
+        add(&self.back_telem, StageKind::Back, self.back_queue.len());
+        add(&self.gpu_telem, StageKind::Gpu, self.fuse_buf.len());
+        PlaneState {
+            t,
+            stages,
+            admitted: self.admission.admitted(),
+            shed: self.admission.shed(),
+        }
+    }
+
+    fn run(&mut self, mut obs: Option<&mut RuntimeObserver>) {
+        // Observation boundaries are processed inline between events, NOT
+        // as heap entries: heap entries consume `seq` tie-break numbers,
+        // so enqueueing them would perturb event ordering and break the
+        // bitwise identity of observed vs unobserved runs.
+        let period = obs.as_deref().map(RuntimeObserver::period);
+        let mut boundary = period.map(|p| SimTime::ZERO + p);
         while let Some(entry) = self.heap.pop() {
             let now = entry.time;
+            if let Some(o) = obs.as_deref_mut() {
+                let p = period.expect("observer implies a period");
+                while let Some(b) = boundary.filter(|b| *b < now && *b < self.window.horizon) {
+                    o.tick(self.plane_state(b));
+                    boundary = Some(b + p);
+                }
+            }
             if now > self.window.horizon {
                 break;
             }
@@ -346,6 +431,13 @@ impl<'a> Exec<'a> {
                 }
             }
         }
+        if let Some(o) = obs {
+            // Final boundary at the horizon, after the loop quiesces: the
+            // exact end-of-run state, so the history's windowed deltas
+            // telescope to the merged report.
+            o.tick(self.plane_state(self.window.horizon));
+            o.finish();
+        }
     }
 }
 
@@ -355,6 +447,7 @@ pub(crate) fn run(
     server: &ServerSpec,
     cfg: &RuntimeConfig,
     offered: Qps,
+    observer: Option<&mut RuntimeObserver>,
 ) -> RuntimeReport {
     let window = RunWindow::of(cfg);
     let queries = arrivals(cfg, offered, &window);
@@ -370,9 +463,17 @@ pub(crate) fn run(
         BackKind::Host { threads, .. } => (threads, 0),
         BackKind::Gpu { ctxs, .. } => (0, ctxs),
     };
+    let tracing = cfg.trace.enabled();
     let telem = |stage: StageKind, n: u32| -> Vec<WorkerTelemetry> {
         (0..n)
-            .map(|w| WorkerTelemetry::new(stage, w, cfg.duration))
+            .map(|w| {
+                let t = WorkerTelemetry::new(stage, w, cfg.duration);
+                if tracing {
+                    t.with_trace(cfg.trace.ring_capacity as usize)
+                } else {
+                    t
+                }
+            })
             .collect()
     };
 
@@ -398,6 +499,8 @@ pub(crate) fn run(
         gpu_telem: telem(StageKind::Gpu, gpu_ctxs),
         pcie_free: SimTime::ZERO,
         batches: Vec::new(),
+        sampler: TraceSampler::new(cfg.seed, cfg.trace.sample_one_in),
+        admit_ring: tracing.then(|| TraceRing::with_capacity(cfg.trace.ring_capacity as usize)),
     };
 
     let measured_arrivals = queries
@@ -407,7 +510,7 @@ pub(crate) fn run(
     for (i, q) in queries.iter().enumerate() {
         exec.push(q.arrival, Ev::Arrival(i as u32));
     }
-    exec.run();
+    exec.run(observer);
 
     let totals = RunTotals {
         offered,
@@ -419,6 +522,7 @@ pub(crate) fn run(
         wall_elapsed_s: None,
         arena: None,
         cache_predicted: None,
+        dispatch_trace: exec.admit_ring.take(),
     };
     let workers: Vec<WorkerTelemetry> = exec
         .front_telem

@@ -30,10 +30,12 @@
 //! thread closes the next stage's queue once every upstream producer has
 //! joined — the run therefore drains completely and `in_flight` is zero.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hercules_common::rng::SimRng;
+use hercules_common::stats::LatencyHistogram;
 use hercules_common::units::{Qps, SimDuration, SimTime};
 use hercules_hw::cost::{pcie_transfer_time, BatchCost};
 use hercules_hw::server::ServerSpec;
@@ -44,11 +46,13 @@ use crate::admission::{AdmissionController, ServiceEwma};
 use crate::affinity::{self, CorePlan};
 use crate::config::{ClockMode, RuntimeConfig};
 use crate::memory::{EmbeddingArena, GatherScratch};
+use crate::observe::{PlaneState, RuntimeObserver, StageState};
 use crate::queue::{PopResult, SyncQueue};
 use crate::report::{assemble, RunTotals, RuntimeReport};
 use crate::serve::{arrivals, RunWindow};
 use crate::stage::{BackKind, QueryTable, Stages, Sub};
-use crate::telemetry::{thread_allocs, StageKind, WorkerTelemetry};
+use crate::telemetry::{thread_allocs, StageKind, TelemetrySlot, WorkerTelemetry};
+use crate::trace::{SpanKind, TraceEvent, TraceRing, TraceSampler, DISPATCH_TID};
 
 /// The calibrated wall clock: converts between virtual time and wall
 /// instants, and burns service time by spinning (sleeping only the coarse
@@ -210,6 +214,7 @@ pub(crate) fn run(
     cfg: &RuntimeConfig,
     offered: Qps,
     arena: Option<&EmbeddingArena>,
+    observer: Option<&mut RuntimeObserver>,
 ) -> RuntimeReport {
     let ClockMode::Wall { time_scale } = cfg.clock else {
         unreachable!("wall executor only runs in wall mode");
@@ -254,6 +259,30 @@ pub(crate) fn run(
 
     prewarm_oracles(&stages, &queries);
 
+    // Observability plane: per-worker seqlock slots (read by the observer
+    // thread), the deterministic trace sampler, and the dispatcher's own
+    // trace ring. Slots and rings are built here, before any worker
+    // serves, so attaching them never touches the hot path.
+    let tracing = cfg.trace.enabled();
+    let sampler = TraceSampler::new(cfg.seed, cfg.trace.sample_one_in);
+    let ring_cap = cfg.trace.ring_capacity as usize;
+    let mut dispatch_ring = tracing.then(|| TraceRing::with_capacity(ring_cap));
+    let observing = observer.is_some();
+    let hist_len = LatencyHistogram::default_latency().counts().len();
+    let slots = |n: u32| -> Vec<Arc<TelemetrySlot>> {
+        if !observing {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| Arc::new(TelemetrySlot::new(hist_len)))
+            .collect()
+    };
+    let front_slots = slots(front_threads);
+    let back_slots = slots(back_threads);
+    let gpu_slots = slots(gpu_ctxs);
+    let counters = admission.counters();
+    let stop = AtomicBool::new(false);
+
     // Inter-stage queues. The ingress queue is bounded by the config;
     // internal forwards use blocking pushes (backpressure, never loss).
     let front_q: SyncQueue<Sub> = SyncQueue::new(cfg.queue_depth);
@@ -279,11 +308,18 @@ pub(crate) fn run(
                     (&front_q, &back_q, &fuse_q, &table, stages.back, &plan);
                 let mut rng = rng_root.fork();
                 let ewma = measured_feed.clone();
+                let slot = front_slots.get(w as usize).map(Arc::clone);
                 front_handles.push(scope.spawn(move || {
                     if let Some(core) = plan.front_core(w as usize) {
                         let _ = affinity::pin_current_thread(core);
                     }
                     let mut t = WorkerTelemetry::new(StageKind::Front, w, cfg.duration);
+                    if let Some(slot) = slot {
+                        t = t.with_slot(slot);
+                    }
+                    if tracing {
+                        t = t.with_trace(ring_cap);
+                    }
                     let mut scratch = GatherScratch::with_dim(arena.map_or(0, |a| a.max_dim()));
                     let mut cache = match (arena, cache_model) {
                         (Some(a), Some(m)) => Some(a.cache_shard(m)),
@@ -292,6 +328,7 @@ pub(crate) fn run(
                     while let Some(sub) = front_q.pop_wait() {
                         let sample = t.batches >= HOT_WARMUP;
                         let allocs_before = thread_allocs();
+                        let traced = sampler.sampled(sub.query);
                         let now = clock.now();
                         let wait = now.saturating_since(sub.ready);
                         let cost = oracle.service_cost_shared(sub.items);
@@ -323,7 +360,16 @@ pub(crate) fn run(
                                         SimDuration::ZERO,
                                     ),
                                 };
-                                t.record_gather(&outcome, kernel_start.elapsed().as_secs_f64());
+                                let gather_wall_s = kernel_start.elapsed().as_secs_f64();
+                                t.record_gather(&outcome, gather_wall_s);
+                                if traced {
+                                    t.trace(
+                                        sub.query,
+                                        SpanKind::Gather,
+                                        now,
+                                        SimDuration::from_secs_f64(gather_wall_s / time_scale),
+                                    );
+                                }
                                 clock.busy_wait(dense_residual(&cost) + penalty);
                                 let done = clock.now();
                                 let service = done.saturating_since(now);
@@ -341,11 +387,23 @@ pub(crate) fn run(
                                 clock.now()
                             }
                         };
+                        if traced {
+                            t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                            t.trace(sub.query, SpanKind::Front, now, done.saturating_since(now));
+                        }
                         match back {
                             BackKind::None => {
                                 if let Some((lat, phases)) = table.complete(&sub, done) {
                                     let in_window = window.measures(table.arrival(sub.query));
                                     t.record_completion(lat, &phases, in_window);
+                                    if traced {
+                                        t.trace(
+                                            sub.query,
+                                            SpanKind::Complete,
+                                            done,
+                                            SimDuration::ZERO,
+                                        );
+                                    }
                                 }
                             }
                             BackKind::Host { .. } => {
@@ -355,6 +413,7 @@ pub(crate) fn run(
                                 fuse_q.push_wait(Sub { ready: done, ..sub });
                             }
                         }
+                        t.publish();
                         if sample {
                             t.record_hot_allocs(thread_allocs() - allocs_before);
                         }
@@ -368,14 +427,22 @@ pub(crate) fn run(
         if let BackKind::Host { oracle, threads } = stages.back {
             for w in 0..threads {
                 let (back_q, table, plan) = (&back_q, &table, &plan);
+                let slot = back_slots.get(w as usize).map(Arc::clone);
                 back_handles.push(scope.spawn(move || {
                     if let Some(core) = plan.back_core(w as usize) {
                         let _ = affinity::pin_current_thread(core);
                     }
                     let mut t = WorkerTelemetry::new(StageKind::Back, w, cfg.duration);
+                    if let Some(slot) = slot {
+                        t = t.with_slot(slot);
+                    }
+                    if tracing {
+                        t = t.with_trace(ring_cap);
+                    }
                     while let Some(sub) = back_q.pop_wait() {
                         let sample = t.batches >= HOT_WARMUP;
                         let allocs_before = thread_allocs();
+                        let traced = sampler.sampled(sub.query);
                         let now = clock.now();
                         let wait = now.saturating_since(sub.ready);
                         let cost = oracle.service_cost_shared(sub.items);
@@ -384,10 +451,18 @@ pub(crate) fn run(
                         t.record_cpu(now, wait, sub.items, &cost);
                         clock.busy_wait(cost.latency);
                         let done = clock.now();
+                        if traced {
+                            t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                            t.trace(sub.query, SpanKind::Back, now, done.saturating_since(now));
+                        }
                         if let Some((lat, phases)) = table.complete(&sub, done) {
                             let in_window = window.measures(table.arrival(sub.query));
                             t.record_completion(lat, &phases, in_window);
+                            if traced {
+                                t.trace(sub.query, SpanKind::Complete, done, SimDuration::ZERO);
+                            }
                         }
+                        t.publish();
                         if sample {
                             t.record_hot_allocs(thread_allocs() - allocs_before);
                         }
@@ -447,11 +522,18 @@ pub(crate) fn run(
             }));
 
             for ctx in 0..ctxs {
+                let slot = gpu_slots.get(ctx as usize).map(Arc::clone);
                 gpu_handles.push(scope.spawn(move || {
                     if let Some(core) = plan.gpu_core(ctx as usize) {
                         let _ = affinity::pin_current_thread(core);
                     }
                     let mut t = WorkerTelemetry::new(StageKind::Gpu, ctx, cfg.duration);
+                    if let Some(slot) = slot {
+                        t = t.with_slot(slot);
+                    }
+                    if tracing {
+                        t = t.with_trace(ring_cap);
+                    }
                     while let Some(batch) = gpu_q.pop_wait() {
                         let sample = t.batches >= HOT_WARMUP;
                         let allocs_before = thread_allocs();
@@ -477,9 +559,23 @@ pub(crate) fn run(
                             table.add_queuing(sub, wait);
                             table.add_loading(sub, load_dur);
                             table.add_inference(sub, cost.latency);
+                            let traced = sampler.sampled(sub.query);
+                            if traced {
+                                t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                                t.trace(sub.query, SpanKind::Load, load_start, load_dur);
+                                t.trace(
+                                    sub.query,
+                                    SpanKind::Gpu,
+                                    compute_start,
+                                    done.saturating_since(compute_start),
+                                );
+                            }
                             if let Some((lat, phases)) = table.complete(sub, done) {
                                 let in_window = window.measures(table.arrival(sub.query));
                                 t.record_completion(lat, &phases, in_window);
+                                if traced {
+                                    t.trace(sub.query, SpanKind::Complete, done, SimDuration::ZERO);
+                                }
                             }
                         }
                         // Recycle the batch buffer; a full freelist just
@@ -487,6 +583,7 @@ pub(crate) fn run(
                         let mut subs = batch.subs;
                         subs.clear();
                         let _ = free_q.try_push_all(std::iter::once(subs));
+                        t.publish();
                         if sample {
                             t.record_hot_allocs(thread_allocs() - allocs_before);
                         }
@@ -495,6 +592,63 @@ pub(crate) fn run(
                 }));
             }
         }
+
+        // ── Observer thread: poll the slots at the configured period ────
+        let obs_handle = observer.map(|obs| {
+            let (front_slots, back_slots, gpu_slots) = (&front_slots, &back_slots, &gpu_slots);
+            let (front_q, back_q, fuse_q) = (&front_q, &back_q, &fuse_q);
+            let (counters, stop) = (&counters, &stop);
+            scope.spawn(move || {
+                let read_plane = |t: SimTime| -> PlaneState {
+                    let mut stages = Vec::new();
+                    let mut add = |slots: &[Arc<TelemetrySlot>], stage: StageKind, depth: usize| {
+                        let Some((first, rest)) = slots.split_first() else {
+                            return;
+                        };
+                        let mut cum = first.read();
+                        for s in rest {
+                            cum.absorb(&s.read());
+                        }
+                        stages.push(StageState {
+                            stage,
+                            workers: slots.len() as u32,
+                            cum,
+                            queue_depth: depth,
+                        });
+                    };
+                    add(front_slots, StageKind::Front, front_q.depth());
+                    add(back_slots, StageKind::Back, back_q.depth());
+                    add(gpu_slots, StageKind::Gpu, fuse_q.depth());
+                    PlaneState {
+                        t,
+                        stages,
+                        admitted: counters.admitted(),
+                        shed: counters.shed(),
+                    }
+                };
+                let period = obs.period();
+                let mut next = SimTime::ZERO + period;
+                'poll: while !stop.load(Ordering::Acquire) {
+                    // Sleep toward the next boundary in short chunks so a
+                    // stop request is honored promptly.
+                    let target = clock.wall_target(next);
+                    while let Some(left) = target.checked_duration_since(Instant::now()) {
+                        if stop.load(Ordering::Acquire) {
+                            break 'poll;
+                        }
+                        std::thread::sleep(left.min(Duration::from_millis(5)));
+                    }
+                    obs.tick(read_plane(next));
+                    next += period;
+                }
+                // Workers have quiesced (main sets `stop` only after
+                // joining every pool, which also orders their final
+                // publishes before this read): one exact end-of-run tick,
+                // then flush the sinks.
+                obs.tick(read_plane(clock.now()));
+                obs.finish();
+            })
+        });
 
         // ── Dispatcher (this thread): pace arrivals, admit, split ───────
         let ingress: &SyncQueue<Sub> = if stages.front.is_some() {
@@ -510,6 +664,17 @@ pub(crate) fn run(
             let sizes = split_iter(q.size, stages.split_batch);
             let n_subs = sizes.len() as u32;
             table.admit(i as u32, n_subs);
+            if sampler.sampled(i as u32) {
+                if let Some(ring) = &mut dispatch_ring {
+                    ring.push(TraceEvent {
+                        query: i as u32,
+                        tid: DISPATCH_TID,
+                        kind: SpanKind::Admit,
+                        start: q.arrival,
+                        dur: SimDuration::ZERO,
+                    });
+                }
+            }
             let subs = sizes.map(|items| Sub {
                 query: i as u32,
                 items,
@@ -538,6 +703,12 @@ pub(crate) fn run(
         for h in gpu_handles {
             workers.push(h.join().expect("gpu worker panicked"));
         }
+        // Every pool has quiesced; release the observer for its final,
+        // exact end-of-run snapshot.
+        stop.store(true, Ordering::Release);
+        if let Some(h) = obs_handle {
+            h.join().expect("observer panicked");
+        }
     });
 
     let measured_arrivals = queries
@@ -557,6 +728,7 @@ pub(crate) fn run(
             (Some(_), Some(m)) => Some(m.overall_hit_rate()),
             _ => None,
         },
+        dispatch_trace: dispatch_ring,
     };
     assemble(server, cfg, workers, totals)
 }

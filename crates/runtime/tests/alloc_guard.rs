@@ -11,13 +11,16 @@
 use hercules_common::units::{Qps, SimDuration};
 use hercules_hw::server::ServerType;
 use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
-use hercules_runtime::{ClockMode, CountingAlloc, GatherMode, RuntimeConfig, ServingRuntime};
+use hercules_runtime::{
+    ClockMode, CountingAlloc, GatherMode, RuntimeConfig, RuntimeObserver, ServingRuntime,
+    TraceConfig,
+};
 use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-fn serve(gather: GatherMode) -> hercules_runtime::RuntimeReport {
+fn serve(gather: GatherMode, observed: bool) -> hercules_runtime::RuntimeReport {
     let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Small);
     let server = ServerType::T2.spec();
     let plan = PlacementPlan::CpuModel {
@@ -27,18 +30,28 @@ fn serve(gather: GatherMode) -> hercules_runtime::RuntimeReport {
     };
     let mut sim = SimConfig::quick(17);
     sim.duration = SimDuration::from_millis(1200);
-    let cfg = RuntimeConfig::from_sim(&sim)
+    let mut cfg = RuntimeConfig::from_sim(&sim)
         .with_clock(ClockMode::Wall { time_scale: 0.25 })
         .with_gather(gather);
+    if observed {
+        cfg = cfg.with_trace(TraceConfig::one_in(16));
+    }
     let rt = ServingRuntime::build(&model, server, &plan, cfg, &NmpLutCache::new())
         .expect("plan must be feasible");
-    rt.serve(Qps(150.0))
+    if observed {
+        let mut obs = RuntimeObserver::every(SimDuration::from_millis(50));
+        let report = rt.serve_observed(Qps(150.0), &mut obs);
+        assert!(obs.history().len() >= 2, "observer ticked mid-run");
+        report
+    } else {
+        rt.serve(Qps(150.0))
+    }
 }
 
 #[test]
 fn steady_state_hot_path_allocates_nothing() {
     for gather in [GatherMode::Synthetic, GatherMode::real_mib(32)] {
-        let report = serve(gather);
+        let report = serve(gather, false);
         assert!(report.conserves());
         assert!(
             report.hot_samples > 0,
@@ -52,6 +65,26 @@ fn steady_state_hot_path_allocates_nothing() {
             report.hot_allocs,
             report.hot_samples,
             report.allocs_per_sample()
+        );
+    }
+}
+
+/// The observability plane keeps the guarantee: with a live observer
+/// polling the seqlock slots and 1-in-16 tracing recording spans, workers
+/// still allocate nothing per batch — publication is plain atomic stores
+/// and trace rings are preallocated at worker start.
+#[test]
+fn hot_path_stays_allocation_free_under_observation() {
+    for gather in [GatherMode::Synthetic, GatherMode::real_mib(32)] {
+        let report = serve(gather, true);
+        assert!(report.conserves());
+        assert!(report.hot_samples > 0);
+        assert!(report.trace.is_some(), "tracing was enabled");
+        assert_eq!(
+            report.hot_allocs, 0,
+            "{gather:?}: observation leaked {} allocations onto the hot path across {} \
+             sampled batches",
+            report.hot_allocs, report.hot_samples,
         );
     }
 }

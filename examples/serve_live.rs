@@ -7,7 +7,8 @@
 //! report. A virtual-clock run of the identical scenario prints alongside,
 //! showing the deterministic executor and the threaded one agree.
 //!
-//! Run with: `cargo run --release --example serve_live [-- --gather real|synthetic] [--cache <MiB>]`
+//! Run with: `cargo run --release --example serve_live [-- --gather real|synthetic]
+//! [--cache <MiB>] [--stats <secs>] [--metrics-out <path>] [--trace-out <path>]`
 //!
 //! With `--gather real` (or `HERCULES_GATHER=real`) the wall-clock front
 //! pool performs genuine memory-bound embedding gathers against a resident
@@ -20,6 +21,21 @@
 //! worker serves the Zipf head from a live LRU shard — the example prints
 //! the predicted vs measured hit rate. Set `HERCULES_SMOKE=1` for a tiny
 //! CI-sized horizon.
+//!
+//! The observability plane is opt-in per run:
+//!
+//! * `--stats <secs>` (or `HERCULES_STATS`) attaches a live observer to
+//!   the wall-clock run that prints one status line per interval —
+//!   interval QPS, e2e p50/p99, queue depth, windowed shed, cache hit
+//!   rate and gather bandwidth — read off the workers' seqlock slots.
+//! * `--metrics-out <path>` (or `HERCULES_METRICS_OUT`) streams one JSON
+//!   snapshot per interval to `path` (NDJSON), or — when the path ends in
+//!   `.prom` — rewrites it in Prometheus text exposition format each
+//!   interval (the textfile-collector pattern).
+//! * `--trace-out <path>` (or `HERCULES_TRACE_OUT`) enables sampled query
+//!   tracing (1-in-`HERCULES_TRACE_SAMPLE`, default 64) and writes the
+//!   collected spans as Chrome trace-event JSON after the run — load the
+//!   file in `chrome://tracing` or Perfetto.
 
 use hercules::common::units::{MemBytes, Qps, SimDuration};
 use hercules::hw::calib;
@@ -27,7 +43,9 @@ use hercules::hw::cost::{modeled_gather_bw_gbs, CacheSpec};
 use hercules::hw::server::ServerType;
 use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules::runtime::{
-    AdmissionPolicy, ClockMode, GatherMode, PinPolicy, RuntimeConfig, RuntimeReport, ServingRuntime,
+    chrome_trace_json, AdmissionPolicy, ClockMode, GatherMode, JsonLines, PinPolicy,
+    PrometheusFile, RuntimeConfig, RuntimeObserver, RuntimeReport, ServingRuntime, StatusLine,
+    TraceConfig,
 };
 use hercules::sim::{NmpLutCache, PlacementPlan, SimConfig, SlaSpec};
 
@@ -68,43 +86,59 @@ fn print_report(tag: &str, r: &RuntimeReport) {
     }
 }
 
-/// `--gather real|synthetic` from argv, falling back to `HERCULES_GATHER`.
-fn gather_arg() -> String {
+/// `--flag <value>` (or `--flag=<value>`) from argv, falling back to the
+/// environment variable `env`. Later occurrences win, matching how most
+/// CLIs resolve repeated flags.
+fn flag_arg(flag: &str, env: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut found = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        match a.as_str() {
-            "--gather" => return args.next().unwrap_or_default(),
-            _ if a.starts_with("--gather=") => {
-                return a["--gather=".len()..].to_string();
-            }
-            _ => {}
+        if a == flag {
+            found = args.next();
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            found = Some(v.to_string());
         }
     }
-    std::env::var("HERCULES_GATHER").unwrap_or_default()
+    found.or_else(|| std::env::var(env).ok())
+}
+
+/// `--gather real|synthetic` from argv, falling back to `HERCULES_GATHER`.
+fn gather_arg() -> String {
+    flag_arg("--gather", "HERCULES_GATHER").unwrap_or_default()
 }
 
 /// `--cache <MiB>` from argv, falling back to `HERCULES_CACHE_MB`; `None`
 /// (absent or 0) leaves the server cache-free.
 fn cache_arg() -> Option<u64> {
-    let mut from_argv = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--cache" => from_argv = args.next(),
-            _ if a.starts_with("--cache=") => {
-                from_argv = Some(a["--cache=".len()..].to_string());
-            }
-            _ => {}
-        }
-    }
-    from_argv
-        .or_else(|| std::env::var("HERCULES_CACHE_MB").ok())
+    flag_arg("--cache", "HERCULES_CACHE_MB")
         .and_then(|v| v.parse::<u64>().ok())
         .filter(|&mib| mib > 0)
 }
 
+/// `--stats <secs>` from argv, falling back to `HERCULES_STATS`; the live
+/// status-line period. `None` (absent or non-positive) disables it.
+fn stats_arg() -> Option<f64> {
+    flag_arg("--stats", "HERCULES_STATS")
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&s| s > 0.0)
+}
+
+/// `HERCULES_TRACE_SAMPLE`: sample 1-in-N queries when tracing (default
+/// 64; clamped to at least 1 so a trace request always records).
+fn trace_sample() -> u32 {
+    std::env::var("HERCULES_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
 fn main() {
     let smoke = std::env::var_os("HERCULES_SMOKE").is_some();
+    let stats = stats_arg();
+    let metrics_out = flag_arg("--metrics-out", "HERCULES_METRICS_OUT");
+    let trace_out = flag_arg("--trace-out", "HERCULES_TRACE_OUT");
     let gather = match gather_arg().as_str() {
         "real" => {
             let default_mb = if smoke { 64 } else { 1024 };
@@ -172,7 +206,7 @@ fn main() {
     // 1. Wall clock: real worker threads, live queues, and — under
     //    `--gather real` — genuine memory-bound embedding gathers on
     //    compactly-pinned front workers.
-    let wall_cfg = base
+    let mut wall_cfg = base
         .with_clock(ClockMode::wall())
         .with_gather(gather)
         .with_affinity(if gather.is_real() {
@@ -180,10 +214,59 @@ fn main() {
         } else {
             PinPolicy::None
         });
+    if trace_out.is_some() {
+        wall_cfg = wall_cfg.with_trace(TraceConfig::one_in(trace_sample()));
+    }
     let rt = ServingRuntime::build(&model, server.clone(), &plan, wall_cfg, &luts)
         .expect("quickstart plan is feasible on a T2");
-    let wall = rt.serve(offered);
+
+    // An observer attaches when anything wants live snapshots: `--stats`
+    // prints status lines, `--metrics-out` streams them to a file. Both
+    // share one observer (and one polling period) so the run pays a single
+    // read-side thread regardless of sink count.
+    let (wall, snapshots) = if stats.is_some() || metrics_out.is_some() {
+        let period = SimDuration::from_secs_f64(stats.unwrap_or(1.0));
+        let mut obs = RuntimeObserver::every(period);
+        if stats.is_some() {
+            obs = obs.with_sink(Box::new(StatusLine));
+        }
+        if let Some(path) = &metrics_out {
+            if path.ends_with(".prom") {
+                obs = obs.with_sink(Box::new(PrometheusFile::new(path)));
+            } else {
+                let sink = JsonLines::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create metrics file {path:?}: {e}"));
+                obs = obs.with_sink(Box::new(sink));
+            }
+        }
+        let report = rt.serve_observed(offered, &mut obs);
+        (report, Some(obs.history().len()))
+    } else {
+        (rt.serve(offered), None)
+    };
     print_report("wall clock", &wall);
+    if let Some(n) = snapshots {
+        println!(
+            "{:<14} observability: {n} snapshots at {:.2}s period{}",
+            "",
+            stats.unwrap_or(1.0),
+            metrics_out
+                .as_deref()
+                .map(|p| format!(", metrics -> {p}"))
+                .unwrap_or_default(),
+        );
+    }
+    if let Some(path) = &trace_out {
+        let spans = wall.trace.as_deref().unwrap_or(&[]);
+        std::fs::write(path, chrome_trace_json(spans))
+            .unwrap_or_else(|e| panic!("cannot write trace file {path:?}: {e}"));
+        println!(
+            "{:<14} trace: {} span events (1-in-{} sampling) -> {path}",
+            "",
+            spans.len(),
+            trace_sample(),
+        );
+    }
     if let Some(g) = &wall.gather {
         let per_stream = g.achieved_gbs();
         let modeled = modeled_gather_bw_gbs(&server, 10, 2);
