@@ -1,0 +1,208 @@
+//! Fig. F (extension) — supervised recovery vs unprotected serving under
+//! injected faults.
+//!
+//! Serves the quickstart scenario (RMC1 production, T2, CPU model plan)
+//! on the virtual clock under the seeded `stall+slowcore` fault scenario:
+//! one front worker freezes for 30% of the run while a second is derated
+//! 3-5x. Three rows share the identical seeded query stream and fault
+//! plan:
+//!
+//! - `healthy`     — no faults; the goodput ceiling for this load.
+//! - `unprotected` — faults on, deadlines tracked but never enforced, no
+//!   supervisor: the stalled worker's backlog poisons the whole run and
+//!   almost every completion lands past its deadline.
+//! - `supervised`  — faults on, deadlines enforced, supervisor active:
+//!   stale heartbeats mark the stalled worker suspect, dispatch routes
+//!   around it, the degradation ladder tightens batching / serves
+//!   degraded gathers / sheds, and expired work is dropped at dequeue.
+//!
+//! Goodput is on-time in-window completions per second. The acceptance
+//! bound (asserted): supervised goodput >= 2x unprotected under the
+//! fault scenario. Every row must satisfy the extended conservation law.
+//!
+//! Emits `BENCH_faults.json` at the workspace root.
+
+use hercules_bench::{banner, f, fast_mode, write_bench_json, Json, TableWriter};
+use hercules_common::units::{Qps, SimDuration};
+use hercules_hw::server::ServerType;
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{
+    DeadlinePolicy, FaultPlan, RuntimeConfig, ServingRuntime, SupervisorPolicy,
+};
+use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig};
+
+struct Outcome {
+    goodput: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    completed: u64,
+    degraded: u64,
+    expired: u64,
+    shed: u64,
+    conserves: bool,
+}
+
+fn main() {
+    banner("Fig. F: supervised recovery vs unprotected serving under faults");
+    let fast = fast_mode();
+    let duration = SimDuration::from_millis(if fast { 1000 } else { 2000 });
+    let scenario = "stall+slowcore";
+
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    // A deliberately small pool: the scenario stalls one front worker and
+    // derates its neighbour, so with two workers the faults take out the
+    // entire healthy service capacity unless the supervisor reacts.
+    let plan = PlacementPlan::CpuModel {
+        threads: 2,
+        workers: 2,
+        batch: 256,
+    };
+    let sim = SimConfig {
+        duration,
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed: 7,
+    };
+    let budget = model.default_sla();
+    // Above the faulted pool's capacity (one worker stalled, the other
+    // derated) but comfortably under the healthy pool's: unprotected, the
+    // backlog never drains and almost everything finishes late.
+    let offered = Qps(800.0);
+    let faults = FaultPlan::scenario(scenario, sim.seed, duration).expect("known scenario");
+
+    println!(
+        "scenario: {} production on T2, CpuModel(2 threads, 2 workers, batch 256); \
+         {:.0} QPS offered over {:.1}s virtual, seed 7; faults: {scenario}; \
+         deadline budget {:.1}ms",
+        model.name(),
+        offered.0,
+        duration.as_secs_f64(),
+        budget.as_millis_f64(),
+    );
+    println!();
+
+    let base = RuntimeConfig::from_sim(&sim);
+    let rows: [(&str, RuntimeConfig); 3] = [
+        ("healthy", base.with_deadline(DeadlinePolicy::track(budget))),
+        (
+            "unprotected",
+            base.with_faults(faults)
+                .with_deadline(DeadlinePolicy::track(budget)),
+        ),
+        (
+            "supervised",
+            base.with_faults(faults)
+                .with_deadline(DeadlinePolicy::enforce(budget))
+                .with_supervisor(SupervisorPolicy::active(SimDuration::from_millis(2))),
+        ),
+    ];
+
+    let w = TableWriter::new(&[
+        ("config", 12),
+        ("goodput", 8),
+        ("QPS", 7),
+        ("p50 ms", 7),
+        ("p99 ms", 8),
+        ("degr", 5),
+        ("drop", 5),
+        ("shed", 5),
+    ]);
+
+    let luts = NmpLutCache::new();
+    let mut json_rows: Vec<Json> = Vec::new();
+    let mut goodputs = [0.0f64; 3];
+    for (i, (label, cfg)) in rows.into_iter().enumerate() {
+        let rt = ServingRuntime::build(&model, server.clone(), &plan, cfg, &luts)
+            .expect("quickstart plan is feasible");
+        let report = rt.serve(offered);
+        let m = Outcome {
+            goodput: report.goodput.value(),
+            qps: report.sim.achieved.value(),
+            p50_ms: report.sim.p50.as_millis_f64(),
+            p99_ms: report.sim.p99.as_millis_f64(),
+            completed: report.sim.completed_total,
+            degraded: report.completed_degraded,
+            expired: report.expired,
+            shed: report.shed,
+            conserves: report.conserves(),
+        };
+        goodputs[i] = m.goodput;
+        w.row(&[
+            label.to_string(),
+            f(m.goodput, 1),
+            f(m.qps, 1),
+            f(m.p50_ms, 2),
+            f(m.p99_ms, 2),
+            m.degraded.to_string(),
+            m.expired.to_string(),
+            m.shed.to_string(),
+        ]);
+        assert!(m.conserves, "{label}: conservation law violated");
+        json_rows.push(Json::obj([
+            ("config", Json::str(label)),
+            ("goodput_qps", Json::Num(m.goodput)),
+            ("achieved_qps", Json::Num(m.qps)),
+            ("p50_ms", Json::Num(m.p50_ms)),
+            ("p99_ms", Json::Num(m.p99_ms)),
+            ("completed", Json::Int(m.completed as i64)),
+            ("completed_degraded", Json::Int(m.degraded as i64)),
+            ("expired", Json::Int(m.expired as i64)),
+            ("shed", Json::Int(m.shed as i64)),
+            ("conserves", Json::Bool(m.conserves)),
+        ]));
+    }
+
+    let [healthy, unprotected, supervised] = goodputs;
+    let ratio = if unprotected > 0.0 {
+        supervised / unprotected
+    } else {
+        f64::INFINITY
+    };
+    println!();
+    println!(
+        "goodput under {scenario}: healthy {healthy:.1} QPS, unprotected {unprotected:.1} QPS, \
+         supervised {supervised:.1} QPS ({ratio:.1}x unprotected)"
+    );
+    assert!(
+        ratio >= 2.0,
+        "supervised goodput must be >= 2x unprotected under {scenario}: \
+         got {supervised:.1} vs {unprotected:.1} ({ratio:.2}x)"
+    );
+
+    let doc = Json::obj([
+        ("figure", Json::str("fig_faults")),
+        ("generated_by", Json::str("cargo bench --bench fig_faults")),
+        (
+            "scenario",
+            Json::obj([
+                ("model", Json::str(model.name())),
+                ("scale", Json::str("production")),
+                ("server", Json::str("T2")),
+                ("plan", Json::str("CpuModel{threads:2,workers:2,batch:256}")),
+                ("faults", Json::str(scenario)),
+                ("offered_qps", Json::Num(offered.0)),
+                ("deadline_budget_ms", Json::Num(budget.as_millis_f64())),
+                ("duration_s", Json::Num(duration.as_secs_f64())),
+                ("clock", Json::str("virtual")),
+                ("seed", Json::Int(7)),
+                ("fast_mode", Json::Bool(fast)),
+            ]),
+        ),
+        ("rows", Json::Arr(json_rows)),
+        (
+            "acceptance",
+            Json::obj([
+                ("healthy_goodput_qps", Json::Num(healthy)),
+                ("unprotected_goodput_qps", Json::Num(unprotected)),
+                ("supervised_goodput_qps", Json::Num(supervised)),
+                ("supervised_over_unprotected", Json::Num(ratio)),
+                ("threshold", Json::Num(2.0)),
+                ("pass", Json::Bool(ratio >= 2.0)),
+            ]),
+        ),
+    ]);
+    let path = write_bench_json("BENCH_faults.json", &doc);
+    println!("wrote {}", path.display());
+}

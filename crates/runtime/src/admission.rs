@@ -179,6 +179,13 @@ impl AdmissionController {
         self.counters.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Sheds a query unconditionally — the degradation ladder's L3, where
+    /// the supervisor has decided new work cannot be served usefully. The
+    /// query is never admitted, so conservation sees it only as shed.
+    pub fn shed_forced(&mut self) {
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Queries admitted so far.
     pub fn admitted(&self) -> u64 {
         self.counters.admitted()
@@ -223,6 +230,14 @@ mod tests {
         let mut c = AdmissionController::new(&AdmissionPolicy::default(), 1e-3, 1);
         assert!(c.admit(0));
         c.shed_backpressure();
+        assert_eq!(c.admitted(), 0);
+        assert_eq!(c.shed(), 1);
+    }
+
+    #[test]
+    fn forced_shed_counts_without_an_admit() {
+        let mut c = AdmissionController::new(&AdmissionPolicy::default(), 1e-3, 1);
+        c.shed_forced();
         assert_eq!(c.admitted(), 0);
         assert_eq!(c.shed(), 1);
     }

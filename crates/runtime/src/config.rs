@@ -5,6 +5,7 @@ use hercules_common::units::{MemBytes, SimDuration};
 use hercules_sim::{SimConfig, SlaSpec};
 
 pub use crate::affinity::PinPolicy;
+pub use crate::fault::FaultPlan;
 
 /// How the runtime advances time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -168,6 +169,115 @@ impl TraceConfig {
     }
 }
 
+/// Per-query deadlines and what the runtime does about them.
+///
+/// Off by default (`budget: None`): every query is served to completion
+/// and counted on-time, exactly the pre-fault-plane behaviour. With a
+/// budget set the report tracks goodput (on-time completions per second);
+/// with `drop_expired` the executors additionally drop expired sub-queries
+/// at dequeue instead of burning service time on work nobody can use.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeadlinePolicy {
+    /// End-to-end latency budget measured from arrival. `None` disables
+    /// deadline tracking entirely.
+    pub budget: Option<SimDuration>,
+    /// Drop expired sub-queries at dequeue (they retire as `expired`, not
+    /// completions). Without this the budget is tracked but not enforced —
+    /// useful as an unprotected baseline.
+    pub drop_expired: bool,
+    /// How many times a wall-clock worker that detects its own stall may
+    /// re-enqueue the sub-query in hand for a sibling to absorb before it
+    /// must serve it late itself.
+    pub retry_budget: u32,
+}
+
+impl DeadlinePolicy {
+    /// Track and enforce `budget`: expired work is dropped at dequeue,
+    /// with a small stall-retry budget.
+    pub fn enforce(budget: SimDuration) -> Self {
+        DeadlinePolicy {
+            budget: Some(budget),
+            drop_expired: true,
+            retry_budget: 2,
+        }
+    }
+
+    /// Track `budget` for goodput accounting without enforcing it.
+    pub fn track(budget: SimDuration) -> Self {
+        DeadlinePolicy {
+            budget: Some(budget),
+            drop_expired: false,
+            retry_budget: 0,
+        }
+    }
+}
+
+/// The supervised-recovery loop: windowed distress detection, the
+/// graceful-degradation ladder, and heartbeat-based worker health.
+///
+/// Disabled by default. When enabled, a supervisor consumes plane
+/// snapshots plus per-worker heartbeats every `period`, walks the ladder
+/// (L1 tighten dynamic batching → L2 degraded gathers → L3 shed) after
+/// `escalate_after` consecutive distressed windows, steps back down after
+/// `recover_after` calm ones, and marks workers whose heartbeat is older
+/// than `heartbeat_timeout` (with work queued) suspect so dispatch routes
+/// around them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Whether the supervisor runs at all.
+    pub enabled: bool,
+    /// Supervision boundary period.
+    pub period: SimDuration,
+    /// A worker whose last heartbeat is older than this — while its pool
+    /// has queued work — is declared suspect.
+    pub heartbeat_timeout: SimDuration,
+    /// Consecutive distressed windows before the ladder escalates a level.
+    pub escalate_after: u32,
+    /// Consecutive calm windows before the ladder recovers a level.
+    pub recover_after: u32,
+    /// The dynamic-batching max delay L1 tightens to.
+    pub tight_max_delay: SimDuration,
+    /// Fraction of the sparse phase still served by an L2 degraded gather
+    /// (the cache-resident share; the cold remainder is skipped).
+    pub degraded_keep: f64,
+    /// Ingress distress threshold: windowed p99 queue wait (or the
+    /// modeled backlog drain time) beyond this counts the window as
+    /// distressed.
+    pub distress_wait: SimDuration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            enabled: false,
+            period: SimDuration::from_millis(20),
+            heartbeat_timeout: SimDuration::from_millis(50),
+            escalate_after: 2,
+            recover_after: 4,
+            tight_max_delay: SimDuration::from_micros(50),
+            degraded_keep: 0.25,
+            distress_wait: SimDuration::from_millis(10),
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// The disabled policy (the default).
+    pub fn off() -> Self {
+        SupervisorPolicy::default()
+    }
+
+    /// An enabled supervisor that treats queue waits beyond
+    /// `distress_wait` as distress, with the default cadence.
+    pub fn active(distress_wait: SimDuration) -> Self {
+        SupervisorPolicy {
+            enabled: true,
+            distress_wait,
+            ..SupervisorPolicy::default()
+        }
+    }
+}
+
 /// Everything a runtime run needs beyond the model/server/plan triple.
 ///
 /// The horizon/warm-up/seed fields mirror [`SimConfig`] exactly (and
@@ -200,6 +310,12 @@ pub struct RuntimeConfig {
     pub affinity: PinPolicy,
     /// Sampled query tracing (off by default).
     pub trace: TraceConfig,
+    /// Seeded fault-injection plan ([`FaultPlan::none`] by default).
+    pub faults: FaultPlan,
+    /// Per-query deadline policy (off by default).
+    pub deadline: DeadlinePolicy,
+    /// Supervised recovery and the degradation ladder (off by default).
+    pub supervisor: SupervisorPolicy,
 }
 
 impl RuntimeConfig {
@@ -219,6 +335,9 @@ impl RuntimeConfig {
             gather: GatherMode::Synthetic,
             affinity: PinPolicy::None,
             trace: TraceConfig::default(),
+            faults: FaultPlan::none(),
+            deadline: DeadlinePolicy::default(),
+            supervisor: SupervisorPolicy::off(),
         }
     }
 
@@ -261,6 +380,24 @@ impl RuntimeConfig {
     /// Builder: sets the sampled-tracing configuration.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder: sets the fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: sets the per-query deadline policy.
+    pub fn with_deadline(mut self, deadline: DeadlinePolicy) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Builder: sets the supervisor policy.
+    pub fn with_supervisor(mut self, supervisor: SupervisorPolicy) -> Self {
+        self.supervisor = supervisor;
         self
     }
 }
@@ -323,6 +460,31 @@ mod tests {
         assert_eq!(traced.trace.sample_one_in, 64);
         assert_eq!(traced.trace.ring_capacity, 4096);
         assert!(!TraceConfig::one_in(0).enabled());
+    }
+
+    #[test]
+    fn fault_and_recovery_policies_default_off() {
+        let cfg = RuntimeConfig::default();
+        assert!(cfg.faults.is_empty());
+        assert_eq!(cfg.deadline, DeadlinePolicy::default());
+        assert_eq!(cfg.deadline.budget, None);
+        assert!(!cfg.supervisor.enabled);
+
+        let sla = SimDuration::from_millis(12);
+        let protected = cfg
+            .with_deadline(DeadlinePolicy::enforce(sla))
+            .with_supervisor(SupervisorPolicy::active(SimDuration::from_millis(5)));
+        assert_eq!(protected.deadline.budget, Some(sla));
+        assert!(protected.deadline.drop_expired);
+        assert!(protected.deadline.retry_budget > 0);
+        assert!(protected.supervisor.enabled);
+        assert_eq!(
+            protected.supervisor.distress_wait,
+            SimDuration::from_millis(5)
+        );
+        let tracked = DeadlinePolicy::track(sla);
+        assert!(!tracked.drop_expired);
+        assert_eq!(tracked.retry_budget, 0);
     }
 
     #[test]

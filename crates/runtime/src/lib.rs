@@ -53,6 +53,7 @@
 pub mod admission;
 pub mod affinity;
 pub mod config;
+pub mod fault;
 pub mod memory;
 pub mod observe;
 pub mod report;
@@ -68,7 +69,11 @@ mod wall;
 
 pub use admission::{AdmissionController, AdmissionCounters, ServiceEwma};
 pub use affinity::{CorePlan, PinPolicy};
-pub use config::{AdmissionPolicy, BatchPolicy, ClockMode, GatherMode, RuntimeConfig, TraceConfig};
+pub use config::{
+    AdmissionPolicy, BatchPolicy, ClockMode, DeadlinePolicy, GatherMode, RuntimeConfig,
+    SupervisorPolicy, TraceConfig,
+};
+pub use fault::{FaultPlan, FaultSpec};
 pub use memory::{
     CacheOutcome, EmbeddingArena, EmbeddingCacheShard, GatherOutcome, GatherScratch, InitPlacement,
 };

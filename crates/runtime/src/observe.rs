@@ -49,8 +49,18 @@ pub struct PlaneState {
     pub stages: Vec<StageState>,
     /// Queries admitted since run start.
     pub admitted: u64,
-    /// Queries shed since run start (budget or backpressure).
+    /// Queries shed since run start (budget, backpressure, or the
+    /// degradation ladder's L3).
     pub shed: u64,
+    /// Workers currently marked suspect by the supervisor (heartbeat
+    /// stale while their pool has backlog).
+    pub suspect_workers: u32,
+    /// Workers confirmed dead (panicked, or removed after an injected
+    /// fatal fault).
+    pub dead_workers: u32,
+    /// Current rung of the graceful-degradation ladder (0 = healthy,
+    /// 1 = tightened batching, 2 = degraded gathers, 3 = shedding).
+    pub degrade_level: u8,
 }
 
 /// One stage's windowed view over an observation interval.
@@ -66,6 +76,10 @@ pub struct StageSnapshot {
     pub items: u64,
     /// Queries this stage retired this interval.
     pub completed: u64,
+    /// Of those, queries served degraded (cache-hit rows only).
+    pub completed_degraded: u64,
+    /// Queries this stage retired expired (deadline drops) this interval.
+    pub expired: u64,
     /// Cumulative batches since run start (Prometheus counters want
     /// monotone values).
     pub cum_batches: u64,
@@ -111,6 +125,25 @@ pub struct PlaneSnapshot {
     pub completed: u64,
     /// Cumulative completions since run start.
     pub cum_completed: u64,
+    /// Queries completed degraded this interval.
+    pub completed_degraded: u64,
+    /// Cumulative degraded completions since run start.
+    pub cum_completed_degraded: u64,
+    /// Queries dropped past their deadline this interval.
+    pub expired: u64,
+    /// Cumulative deadline drops since run start.
+    pub cum_expired: u64,
+    /// Completions this interval whose end-to-end latency overflowed the
+    /// histogram's top bucket — a saturating tail the quantiles can't see.
+    pub latency_overflow: u64,
+    /// Cumulative histogram-overflow completions since run start.
+    pub cum_latency_overflow: u64,
+    /// Workers marked suspect at the boundary.
+    pub suspect_workers: u32,
+    /// Workers confirmed dead at the boundary.
+    pub dead_workers: u32,
+    /// Degradation-ladder rung at the boundary (0 = healthy).
+    pub degrade_level: u8,
     /// Interval throughput: completions over the interval.
     pub qps: f64,
     /// Interval median end-to-end latency across all retiring stages.
@@ -228,6 +261,11 @@ impl RuntimeObserver {
         let mut e2e_delta = vec![0u64; hist_len];
         let mut completed = 0u64;
         let mut cum_completed = 0u64;
+        let mut completed_degraded = 0u64;
+        let mut cum_completed_degraded = 0u64;
+        let mut expired = 0u64;
+        let mut cum_expired = 0u64;
+        let mut cum_latency_overflow = 0u64;
         for (i, s) in state.stages.iter().enumerate() {
             let zero = WorkerSnap::zeroed(hist_len);
             let prev_cum = prev_t.map_or(&zero, |p| &p.stages[i].cum);
@@ -237,6 +275,12 @@ impl RuntimeObserver {
             }
             completed += d.completed_total;
             cum_completed += s.cum.completed_total;
+            completed_degraded += d.completed_degraded;
+            cum_completed_degraded += s.cum.completed_degraded;
+            expired += d.expired;
+            cum_expired += s.cum.expired;
+            // The histogram's trailing bucket is its overflow count.
+            cum_latency_overflow += s.cum.e2e.last().copied().unwrap_or(0);
             let cached = d.cache_hits + d.cache_misses;
             stages.push(StageSnapshot {
                 stage: s.stage,
@@ -244,6 +288,8 @@ impl RuntimeObserver {
                 batches: d.batches,
                 items: d.items,
                 completed: d.completed_total,
+                completed_degraded: d.completed_degraded,
+                expired: d.expired,
                 cum_batches: s.cum.batches,
                 cum_completed: s.cum.completed_total,
                 queue_depth: s.queue_depth,
@@ -270,6 +316,15 @@ impl RuntimeObserver {
             cum_shed: state.shed,
             completed,
             cum_completed,
+            completed_degraded,
+            cum_completed_degraded,
+            expired,
+            cum_expired,
+            latency_overflow: e2e_delta.last().copied().unwrap_or(0),
+            cum_latency_overflow,
+            suspect_workers: state.suspect_workers,
+            dead_workers: state.dead_workers,
+            degrade_level: state.degrade_level,
             qps: completed as f64 / interval_s,
             e2e_p50: self.layout.quantile_of(&e2e_delta, 0.50),
             e2e_p99: self.layout.quantile_of(&e2e_delta, 0.99),
@@ -308,8 +363,17 @@ impl SnapshotSink for StatusLine {
             Some(r) => format!("{r:.2}"),
             None => "-".to_string(),
         };
+        let health = if snap.degrade_level > 0 || snap.suspect_workers > 0 || snap.dead_workers > 0
+        {
+            format!(
+                " | L{} suspect {} dead {}",
+                snap.degrade_level, snap.suspect_workers, snap.dead_workers
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[telemetry t={:>8.3}s] qps {:>7.1} | e2e p50 {:>8} p99 {:>8} | queue {:>5} | shed +{} (cum {}) | cache {} | gather {:.2} GB/s",
+            "[telemetry t={:>8.3}s] qps {:>7.1} | e2e p50 {:>8} p99 {:>8} | queue {:>5} | shed +{} (cum {}) | degraded +{} dropped +{} | cache {} | gather {:.2} GB/s{}",
             snap.t.as_secs_f64(),
             snap.qps,
             ms(snap.e2e_p50),
@@ -317,8 +381,11 @@ impl SnapshotSink for StatusLine {
             snap.queue_depth(),
             snap.shed,
             snap.cum_shed,
+            snap.completed_degraded,
+            snap.expired,
             cache,
             snap.gather_gbs(),
+            health,
         );
     }
 }
@@ -395,6 +462,10 @@ pub fn snapshot_json(snap: &PlaneSnapshot) -> String {
     s.push_str(&format!(
         "{{\"t_s\":{},\"interval_s\":{},\"qps\":{},\"completed\":{},\"cum_completed\":{},\
          \"admitted\":{},\"shed\":{},\"cum_admitted\":{},\"cum_shed\":{},\
+         \"completed_degraded\":{},\"cum_completed_degraded\":{},\
+         \"expired\":{},\"cum_expired\":{},\
+         \"latency_overflow\":{},\"cum_latency_overflow\":{},\
+         \"suspect_workers\":{},\"dead_workers\":{},\"degrade_level\":{},\
          \"e2e_p50_s\":{},\"e2e_p99_s\":{},\"queue_depth\":{},\"stages\":[",
         json_f64(snap.t.as_secs_f64()),
         json_f64(snap.interval.as_secs_f64()),
@@ -405,6 +476,15 @@ pub fn snapshot_json(snap: &PlaneSnapshot) -> String {
         snap.shed,
         snap.cum_admitted,
         snap.cum_shed,
+        snap.completed_degraded,
+        snap.cum_completed_degraded,
+        snap.expired,
+        snap.cum_expired,
+        snap.latency_overflow,
+        snap.cum_latency_overflow,
+        snap.suspect_workers,
+        snap.dead_workers,
+        snap.degrade_level,
         json_opt(snap.e2e_p50),
         json_opt(snap.e2e_p99),
         snap.queue_depth(),
@@ -468,6 +548,42 @@ pub fn prometheus_text(snap: &PlaneSnapshot) -> String {
         "hercules_completed_total",
         "Queries completed since run start.",
         snap.cum_completed,
+    );
+    counter(
+        &mut s,
+        "hercules_degraded_total",
+        "Queries completed with degraded (cache-hit-only) gathers since run start.",
+        snap.cum_completed_degraded,
+    );
+    counter(
+        &mut s,
+        "hercules_expired_total",
+        "Queries dropped past their deadline since run start.",
+        snap.cum_expired,
+    );
+    counter(
+        &mut s,
+        "hercules_latency_overflow_total",
+        "Completions whose latency overflowed the histogram since run start.",
+        snap.cum_latency_overflow,
+    );
+    gauge(
+        &mut s,
+        "hercules_degrade_level",
+        "Current graceful-degradation ladder rung (0 = healthy).",
+        snap.degrade_level as f64,
+    );
+    gauge(
+        &mut s,
+        "hercules_suspect_workers",
+        "Workers currently marked suspect by the supervisor.",
+        snap.suspect_workers as f64,
+    );
+    gauge(
+        &mut s,
+        "hercules_dead_workers",
+        "Workers confirmed dead (panicked or fatally faulted).",
+        snap.dead_workers as f64,
     );
     gauge(
         &mut s,
@@ -583,6 +699,9 @@ mod tests {
             }],
             admitted: completed + shed,
             shed,
+            suspect_workers: 0,
+            dead_workers: 0,
+            degrade_level: 0,
         }
     }
 
@@ -640,9 +759,16 @@ mod tests {
         assert!(json.contains("\"qps\":80.0"));
         assert!(json.contains("\"stage\":\"front\""));
         assert!(!json.contains("NaN"));
+        assert!(json.contains("\"degrade_level\":0"));
+        assert!(json.contains("\"cum_expired\":0"));
         let prom = prometheus_text(snap);
         assert!(prom.contains("hercules_completed_total 8"));
         assert!(prom.contains("hercules_shed_total 2"));
+        assert!(prom.contains("hercules_degraded_total 0"));
+        assert!(prom.contains("hercules_expired_total 0"));
+        assert!(prom.contains("hercules_latency_overflow_total 0"));
+        assert!(prom.contains("hercules_degrade_level 0"));
+        assert!(prom.contains("hercules_dead_workers 0"));
         assert!(prom.contains("hercules_stage_queue_depth{stage=\"front\"} 7"));
         assert!(prom.contains("# TYPE hercules_interval_qps gauge"));
     }

@@ -103,10 +103,30 @@ pub struct RuntimeReport {
     /// Queries admitted by the controller (and not reclassified by
     /// backpressure).
     pub admitted: u64,
-    /// Queries shed at dispatch (admission budget or ingress
-    /// backpressure). Shed queries count in `sim.total_arrivals` and
-    /// `sim.measured_arrivals` but never complete.
+    /// Queries shed at dispatch (admission budget, ingress backpressure,
+    /// or the degradation ladder's L3). Shed queries count in
+    /// `sim.total_arrivals` and `sim.measured_arrivals` but never
+    /// complete.
     pub shed: u64,
+    /// Completions that received at least one degraded gather (L2 of the
+    /// ladder; whole run, a subset of `sim.completed_total`).
+    pub completed_degraded: u64,
+    /// Queries dropped at dequeue past their deadline (whole run; disjoint
+    /// from `sim.completed_total`).
+    pub expired: u64,
+    /// In-window completions that met the deadline budget (equals
+    /// `sim.completed` when no [`DeadlinePolicy`] budget is configured).
+    ///
+    /// [`DeadlinePolicy`]: crate::config::DeadlinePolicy
+    pub on_time: u64,
+    /// Goodput: on-time in-window completions per measured second.
+    pub goodput: Qps,
+    /// Sub-queries re-enqueued by stalled workers for siblings to absorb.
+    pub redistributed: u64,
+    /// Workers that died during the run (injected or contained panics).
+    /// The run still completes and conserves; dead workers simply stop
+    /// contributing.
+    pub worker_failures: u64,
     /// Per-pool summaries (front / back / GPU), in pipeline order.
     pub stages: Vec<StageSummary>,
     /// The clock mode that produced this report.
@@ -139,12 +159,20 @@ pub struct RuntimeReport {
 }
 
 impl RuntimeReport {
-    /// The conservation law every run must satisfy: every generated
-    /// arrival is either fully served, shed at dispatch, or still in
-    /// flight when the run ends.
+    /// The conservation law every run must satisfy — including faulted,
+    /// degraded, and deadline-enforcing runs: every generated arrival is
+    /// served (fully or degraded), dropped expired, shed at dispatch, or
+    /// still in flight when the run ends:
+    /// `arrivals = completed_full + completed_degraded + expired + shed + in_flight`
+    /// (`sim.completed_total` covers the first two terms).
     pub fn conserves(&self) -> bool {
         self.sim.total_arrivals
-            == self.sim.completed_total + self.shed + self.sim.in_flight_at_horizon
+            == self.sim.completed_total + self.expired + self.shed + self.sim.in_flight_at_horizon
+    }
+
+    /// Whole-run completions served entirely undegraded.
+    pub fn completed_full(&self) -> u64 {
+        self.sim.completed_total - self.completed_degraded
     }
 
     /// Fraction of arrivals shed.
@@ -177,6 +205,10 @@ pub(crate) struct RunTotals {
     pub admitted: u64,
     pub shed: u64,
     pub in_flight: u64,
+    /// Worker panics that escaped containment (join handles that returned
+    /// `Err`); contained failures are counted from each worker's `failed`
+    /// flag instead.
+    pub join_failures: u64,
     pub wall_elapsed_s: Option<f64>,
     /// `(resident_bytes, compacted)` of the embedding arena when the run
     /// executed real gathers; `None` turns the report's gather field off.
@@ -212,6 +244,11 @@ pub(crate) fn assemble(
     let mut buckets = Buckets::new(cfg.duration);
     let mut completed = 0u64;
     let mut completed_total = 0u64;
+    let mut completed_degraded = 0u64;
+    let mut expired = 0u64;
+    let mut on_time = 0u64;
+    let mut redistributed = 0u64;
+    let mut worker_failures = totals.join_failures;
     let mut sum_queuing = 0.0;
     let mut sum_loading = 0.0;
     let mut sum_inference = 0.0;
@@ -227,6 +264,11 @@ pub(crate) fn assemble(
         buckets.merge(&w.buckets);
         completed += w.completed;
         completed_total += w.completed_total;
+        completed_degraded += w.completed_degraded;
+        expired += w.expired;
+        on_time += w.on_time;
+        redistributed += w.redistributed;
+        worker_failures += w.failed as u64;
         sum_queuing += w.sum_queuing;
         sum_loading += w.sum_loading;
         sum_inference += w.sum_inference;
@@ -330,6 +372,12 @@ pub(crate) fn assemble(
         sim,
         admitted: totals.admitted,
         shed: totals.shed,
+        completed_degraded,
+        expired,
+        on_time,
+        goodput: Qps(on_time as f64 / window_s),
+        redistributed,
+        worker_failures,
         stages,
         clock: cfg.clock,
         wall_elapsed_s: totals.wall_elapsed_s,

@@ -68,6 +68,22 @@ pub struct WorkerTelemetry {
     pub completed: u64,
     /// Queries retired over the whole run.
     pub completed_total: u64,
+    /// Whole-run completions that received at least one degraded gather
+    /// (a subset of `completed_total`).
+    pub completed_degraded: u64,
+    /// Queries retired expired (dropped at dequeue past their deadline);
+    /// disjoint from `completed_total`.
+    pub expired: u64,
+    /// In-window completions whose end-to-end latency met the deadline
+    /// budget (equals `completed` when no budget is configured).
+    pub on_time: u64,
+    /// Sub-queries this worker re-enqueued for siblings after detecting
+    /// its own stall.
+    pub redistributed: u64,
+    /// Whether this worker died (injected or contained panic).
+    pub failed: bool,
+    /// Last heartbeat this worker published (dispatch-time liveness).
+    pub last_beat: SimTime,
     /// Per-phase latency attributions of retired in-window queries.
     pub sum_queuing: f64,
     /// See [`WorkerTelemetry::sum_queuing`].
@@ -126,6 +142,12 @@ impl WorkerTelemetry {
             e2e: LatencyHistogram::default_latency(),
             completed: 0,
             completed_total: 0,
+            completed_degraded: 0,
+            expired: 0,
+            on_time: 0,
+            redistributed: 0,
+            failed: false,
+            last_beat: SimTime::ZERO,
             sum_queuing: 0.0,
             sum_loading: 0.0,
             sum_inference: 0.0,
@@ -197,6 +219,8 @@ impl WorkerTelemetry {
             busy_ns: self.busy.as_nanos(),
             completed: self.completed,
             completed_total: self.completed_total,
+            completed_degraded: self.completed_degraded,
+            expired: self.expired,
             gather_bytes: self.gather_bytes,
             gather_rows: self.gather_rows,
             gather_wall_s: self.gather_wall_s,
@@ -209,6 +233,9 @@ impl WorkerTelemetry {
 
     /// Records one CPU batch dispatched at `start` after waiting `wait`,
     /// charging the modeled latency as the observed service time.
+    /// (Executors call [`Self::record_cpu_measured`] directly; this
+    /// shorthand keeps the tests readable.)
+    #[cfg(test)]
     pub(crate) fn record_cpu(
         &mut self,
         start: SimTime,
@@ -273,20 +300,49 @@ impl WorkerTelemetry {
         self.buckets.pcie_s[b] += dur.as_secs_f64();
     }
 
-    /// Records a query this worker retired.
+    /// Records a query this worker retired as a completion. `degraded`
+    /// marks queries that received at least one degraded gather; `on_time`
+    /// marks completions that met the deadline budget (pass `true` when no
+    /// budget is configured).
     pub(crate) fn record_completion(
         &mut self,
         latency: SimDuration,
         phases: &QueryPhases,
         in_window: bool,
+        degraded: bool,
+        on_time: bool,
     ) {
         self.completed_total += 1;
+        if degraded {
+            self.completed_degraded += 1;
+        }
         if in_window {
             self.completed += 1;
+            if on_time {
+                self.on_time += 1;
+            }
             self.e2e.record(latency.as_secs_f64());
             self.sum_queuing += phases.queuing_s;
             self.sum_loading += phases.loading_s;
             self.sum_inference += phases.inference_s;
+        }
+    }
+
+    /// Records a query this worker retired expired (dropped at dequeue).
+    /// Expired queries never enter the latency histogram or the completion
+    /// counters.
+    pub(crate) fn record_expired(&mut self) {
+        self.expired += 1;
+    }
+
+    /// Publishes a heartbeat: the worker is alive and dispatching at
+    /// `now`. One relaxed store into the slot (a single `u64` needs no
+    /// seqlock window).
+    #[inline]
+    pub(crate) fn heartbeat(&mut self, now: SimTime) {
+        self.last_beat = now;
+        if let Some(slot) = &self.slot {
+            slot.beat(now);
         }
     }
 
@@ -344,6 +400,10 @@ pub struct WorkerSnap {
     pub completed: u64,
     /// Queries retired over the whole run.
     pub completed_total: u64,
+    /// Whole-run completions that received a degraded gather.
+    pub completed_degraded: u64,
+    /// Queries retired expired (deadline drops).
+    pub expired: u64,
     /// Embedding bytes read by real gathers.
     pub gather_bytes: u64,
     /// Rows gathered.
@@ -378,6 +438,8 @@ impl WorkerSnap {
         self.busy_ns += other.busy_ns;
         self.completed += other.completed;
         self.completed_total += other.completed_total;
+        self.completed_degraded += other.completed_degraded;
+        self.expired += other.expired;
         self.gather_bytes += other.gather_bytes;
         self.gather_rows += other.gather_rows;
         self.gather_wall_s += other.gather_wall_s;
@@ -402,6 +464,8 @@ impl WorkerSnap {
             busy_ns: self.busy_ns - prev.busy_ns,
             completed: self.completed - prev.completed,
             completed_total: self.completed_total - prev.completed_total,
+            completed_degraded: self.completed_degraded - prev.completed_degraded,
+            expired: self.expired - prev.expired,
             gather_bytes: self.gather_bytes - prev.gather_bytes,
             gather_rows: self.gather_rows - prev.gather_rows,
             gather_wall_s: self.gather_wall_s - prev.gather_wall_s,
@@ -439,6 +503,13 @@ pub struct TelemetrySlot {
     busy_ns: AtomicU64,
     completed: AtomicU64,
     completed_total: AtomicU64,
+    completed_degraded: AtomicU64,
+    expired: AtomicU64,
+    /// Last heartbeat in nanoseconds. Outside the seqlock protocol: a
+    /// single `u64` gauge written with one relaxed store at dispatch, so a
+    /// stalled worker's staleness is visible even though it publishes no
+    /// snapshots while frozen.
+    beat_ns: AtomicU64,
     gather_bytes: AtomicU64,
     gather_rows: AtomicU64,
     /// `f64::to_bits` of the gather wall seconds.
@@ -461,6 +532,9 @@ impl TelemetrySlot {
             busy_ns: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             completed_total: AtomicU64::new(0),
+            completed_degraded: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            beat_ns: AtomicU64::new(0),
             gather_bytes: AtomicU64::new(0),
             gather_rows: AtomicU64::new(0),
             gather_wall_s_bits: AtomicU64::new(0f64.to_bits()),
@@ -485,6 +559,9 @@ impl TelemetrySlot {
         self.completed.store(t.completed, Ordering::Relaxed);
         self.completed_total
             .store(t.completed_total, Ordering::Relaxed);
+        self.completed_degraded
+            .store(t.completed_degraded, Ordering::Relaxed);
+        self.expired.store(t.expired, Ordering::Relaxed);
         self.gather_bytes.store(t.gather_bytes, Ordering::Relaxed);
         self.gather_rows.store(t.gather_rows, Ordering::Relaxed);
         self.gather_wall_s_bits
@@ -499,6 +576,19 @@ impl TelemetrySlot {
         }
         // Order the data stores before the even sequence.
         self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Writer side: publishes a heartbeat. One relaxed store — a single
+    /// `u64` cannot tear, so it lives outside the seqlock window and stays
+    /// fresh even while the worker is mid-batch (or frozen).
+    #[inline]
+    pub(crate) fn beat(&self, now: SimTime) {
+        self.beat_ns.store(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Reader side: the worker's last published heartbeat.
+    pub fn last_beat(&self) -> SimTime {
+        SimTime::from_nanos(self.beat_ns.load(Ordering::Relaxed))
     }
 
     /// Reader side: retries until it gets a copy with a stable, even
@@ -517,6 +607,8 @@ impl TelemetrySlot {
                 busy_ns: self.busy_ns.load(Ordering::Relaxed),
                 completed: self.completed.load(Ordering::Relaxed),
                 completed_total: self.completed_total.load(Ordering::Relaxed),
+                completed_degraded: self.completed_degraded.load(Ordering::Relaxed),
+                expired: self.expired.load(Ordering::Relaxed),
                 gather_bytes: self.gather_bytes.load(Ordering::Relaxed),
                 gather_rows: self.gather_rows.load(Ordering::Relaxed),
                 gather_wall_s: f64::from_bits(self.gather_wall_s_bits.load(Ordering::Relaxed)),
@@ -702,8 +794,10 @@ mod tests {
             loading_s: 0.0,
             inference_s: 4e-3,
         };
-        t.record_completion(SimDuration::from_millis(4), &phases, true);
+        t.record_completion(SimDuration::from_millis(4), &phases, true, false, true);
+        t.heartbeat(SimTime::from_millis(104));
         t.publish();
+        assert_eq!(slot.last_beat(), SimTime::from_millis(104));
         let first = slot.read();
         assert_eq!(first, t.snapshot(), "slot mirrors the worker exactly");
         assert_eq!(first.batches, 1);
@@ -765,11 +859,46 @@ mod tests {
             loading_s: 0.0,
             inference_s: 4e-3,
         };
-        t.record_completion(SimDuration::from_millis(5), &phases, true);
-        t.record_completion(SimDuration::from_millis(7), &phases, false);
+        t.record_completion(SimDuration::from_millis(5), &phases, true, false, true);
+        t.record_completion(SimDuration::from_millis(7), &phases, false, false, true);
         assert_eq!(t.completed, 1);
         assert_eq!(t.completed_total, 2);
         assert_eq!(t.e2e.count(), 1);
         assert!((t.sum_inference - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_expired_and_goodput_accounting() {
+        let mut t = WorkerTelemetry::new(StageKind::Front, 0, SimDuration::from_secs(1));
+        let phases = QueryPhases {
+            queuing_s: 1e-3,
+            loading_s: 0.0,
+            inference_s: 4e-3,
+        };
+        // A full on-time completion, a degraded on-time completion, a late
+        // full completion, and an expired drop.
+        t.record_completion(SimDuration::from_millis(5), &phases, true, false, true);
+        t.record_completion(SimDuration::from_millis(6), &phases, true, true, true);
+        t.record_completion(SimDuration::from_millis(40), &phases, true, false, false);
+        t.record_expired();
+        assert_eq!(t.completed, 3);
+        assert_eq!(t.completed_total, 3);
+        assert_eq!(t.completed_degraded, 1);
+        assert_eq!(t.on_time, 2, "the late completion is not goodput");
+        assert_eq!(t.expired, 1);
+        assert_eq!(
+            t.e2e.count(),
+            3,
+            "expired queries never enter the histogram"
+        );
+
+        // The new counters ride the snapshot protocol monotonically.
+        let snap = t.snapshot();
+        assert_eq!(snap.completed_degraded, 1);
+        assert_eq!(snap.expired, 1);
+        let hist_len = snap.e2e.len();
+        let mut agg = WorkerSnap::zeroed(hist_len);
+        agg.absorb(&snap);
+        assert_eq!(agg.delta_since(&snap), WorkerSnap::zeroed(hist_len));
     }
 }

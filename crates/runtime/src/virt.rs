@@ -10,6 +10,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use hercules_common::units::{Qps, SimDuration, SimTime};
 use hercules_hw::cost::pcie_transfer_time;
@@ -18,10 +19,11 @@ use hercules_sim::{split_sizes, Topology};
 
 use crate::admission::AdmissionController;
 use crate::config::RuntimeConfig;
+use crate::fault::{degraded_latency, FaultBook, RuntimeControls, Supervisor};
 use crate::observe::{PlaneState, RuntimeObserver, StageState};
 use crate::report::{assemble, RunTotals, RuntimeReport};
 use crate::serve::{arrivals, RunWindow};
-use crate::stage::{BackKind, QueryTable, Stages, Sub};
+use crate::stage::{BackKind, QueryTable, Stages, Sub, FLAG_DEGRADED, FLAG_EXPIRED};
 use crate::telemetry::{StageKind, WorkerTelemetry};
 use crate::trace::{SpanKind, TraceEvent, TraceRing, TraceSampler, DISPATCH_TID};
 
@@ -113,6 +115,16 @@ struct Exec<'a> {
     sampler: TraceSampler,
     /// Dispatcher-side ring for admit instants (workers own their rings).
     admit_ring: Option<TraceRing>,
+    // Fault plane. `faulty`/`supervised`/`deadline_drop` gate EVERY fault
+    // branch: with the default config all three are false, the executor
+    // takes exactly the pre-fault code paths (no extra heap events, seq
+    // numbers, or RNG draws), and reports stay bitwise-identical.
+    book: FaultBook,
+    controls: Arc<RuntimeControls>,
+    supervisor: Option<Supervisor>,
+    faulty: bool,
+    supervised: bool,
+    deadline_drop: bool,
 }
 
 impl<'a> Exec<'a> {
@@ -135,6 +147,11 @@ impl<'a> Exec<'a> {
     }
 
     fn arrive(&mut self, query: u32, now: SimTime) {
+        if self.supervised && self.controls.shedding() {
+            // L3: the ladder has decided new work cannot be served usefully.
+            self.admission.shed_forced();
+            return;
+        }
         if !self.admission.admit(self.ingress_depth()) {
             return;
         }
@@ -161,6 +178,7 @@ impl<'a> Exec<'a> {
             items,
             n_subs,
             ready: now,
+            retries: 0,
         });
         if self.stages.front.is_some() {
             self.front_queue.extend(subs);
@@ -173,24 +191,107 @@ impl<'a> Exec<'a> {
         }
     }
 
+    /// Removes workers whose injected panic has fired from a free list,
+    /// marking them dead. Only called on fault-plan runs.
+    fn cull_dead(&mut self, stage: StageKind, now: SimTime) {
+        let (free, telem) = match stage {
+            StageKind::Front => (&mut self.front_free, &mut self.front_telem),
+            StageKind::Back => (&mut self.back_free, &mut self.back_telem),
+            StageKind::Gpu => return,
+        };
+        let mut i = 0;
+        while i < free.len() {
+            let w = free[i];
+            if self.book.dead(stage, w, now) {
+                free.swap_remove(i);
+                self.controls.mark_dead(stage, w);
+                telem[w as usize].failed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Deadline enforcement at dequeue: when `sub` has already blown its
+    /// budget, retire it expired without consuming a worker. Returns true
+    /// when the sub was dropped.
+    fn expire_at_dequeue(&mut self, stage: StageKind, sub: &Sub, now: SimTime) -> bool {
+        let Some(budget) = self.cfg.deadline.budget else {
+            return false;
+        };
+        if now <= self.table.arrival(sub.query) + budget {
+            return false;
+        }
+        if self.table.drop_expired(sub, now).is_some() {
+            let telem = match stage {
+                StageKind::Front => &mut self.front_telem[0],
+                StageKind::Back => &mut self.back_telem[0],
+                StageKind::Gpu => &mut self.gpu_telem[0],
+            };
+            telem.record_expired();
+        }
+        true
+    }
+
     fn schedule_front(&mut self, now: SimTime) {
         let Some((oracle, _)) = self.stages.front else {
             return;
         };
+        if self.faulty {
+            self.cull_dead(StageKind::Front, now);
+        }
         while !self.front_free.is_empty() && !self.front_queue.is_empty() {
-            let worker = self.front_free.pop().expect("non-empty");
+            // With no faults and no supervisor this picks the last free
+            // worker — exactly the old `pop()` — so default runs stay
+            // bitwise-identical. Suspect workers are skipped so siblings
+            // absorb a stalled worker's queue share.
+            let widx = if self.faulty {
+                match self
+                    .front_free
+                    .iter()
+                    .rposition(|&w| !self.controls.is_suspect(StageKind::Front, w))
+                {
+                    Some(i) => i,
+                    None => break,
+                }
+            } else {
+                self.front_free.len() - 1
+            };
             let sub = self.front_queue.pop_front().expect("non-empty");
+            if self.deadline_drop && self.expire_at_dequeue(StageKind::Front, &sub, now) {
+                continue;
+            }
+            let worker = self.front_free.swap_remove(widx);
             let cost = oracle.service_cost(sub.items);
             let wait = now.saturating_since(sub.ready);
             self.table.add_queuing(&sub, wait);
-            self.table.add_inference(&sub, cost.latency);
+            let mut svc = cost.latency;
+            if self.supervised && self.controls.degrade_gather() {
+                // L2: serve cache-hit rows only, priced through the oracle.
+                svc = degraded_latency(&cost, self.cfg.supervisor.degraded_keep);
+                self.table.mark_degraded(&sub);
+            }
+            // A dispatch into a stall window is trapped behind the frozen
+            // worker: service begins when the stall ends.
+            let mut start = now;
+            if self.faulty {
+                let mult = self.book.service_mult(StageKind::Front, worker, now);
+                if mult != 1.0 {
+                    svc = svc.mul_f64(mult);
+                }
+                if let Some(end) = self.book.stall_end(StageKind::Front, worker, now) {
+                    start = end;
+                }
+            }
+            self.table.add_inference(&sub, svc);
             let telem = &mut self.front_telem[worker as usize];
-            telem.record_cpu(now, wait, sub.items, &cost);
+            telem.heartbeat(now);
+            telem.record_cpu_measured(now, wait, sub.items, &cost, svc);
             if self.sampler.sampled(sub.query) {
                 telem.trace(sub.query, SpanKind::Queue, sub.ready, wait);
-                telem.trace(sub.query, SpanKind::Front, now, cost.latency);
+                telem.trace(sub.query, SpanKind::Front, start, svc);
             }
-            self.push(now + cost.latency, Ev::FrontDone { worker, sub });
+            self.push(start + svc, Ev::FrontDone { worker, sub });
         }
     }
 
@@ -198,20 +299,50 @@ impl<'a> Exec<'a> {
         let BackKind::Host { oracle, .. } = self.stages.back else {
             return;
         };
+        if self.faulty {
+            self.cull_dead(StageKind::Back, now);
+        }
         while !self.back_free.is_empty() && !self.back_queue.is_empty() {
-            let worker = self.back_free.pop().expect("non-empty");
+            let widx = if self.faulty {
+                match self
+                    .back_free
+                    .iter()
+                    .rposition(|&w| !self.controls.is_suspect(StageKind::Back, w))
+                {
+                    Some(i) => i,
+                    None => break,
+                }
+            } else {
+                self.back_free.len() - 1
+            };
             let sub = self.back_queue.pop_front().expect("non-empty");
+            if self.deadline_drop && self.expire_at_dequeue(StageKind::Back, &sub, now) {
+                continue;
+            }
+            let worker = self.back_free.swap_remove(widx);
             let cost = oracle.service_cost(sub.items);
             let wait = now.saturating_since(sub.ready);
             self.table.add_queuing(&sub, wait);
-            self.table.add_inference(&sub, cost.latency);
+            let mut svc = cost.latency;
+            let mut start = now;
+            if self.faulty {
+                let mult = self.book.service_mult(StageKind::Back, worker, now);
+                if mult != 1.0 {
+                    svc = svc.mul_f64(mult);
+                }
+                if let Some(end) = self.book.stall_end(StageKind::Back, worker, now) {
+                    start = end;
+                }
+            }
+            self.table.add_inference(&sub, svc);
             let telem = &mut self.back_telem[worker as usize];
-            telem.record_cpu(now, wait, sub.items, &cost);
+            telem.heartbeat(now);
+            telem.record_cpu_measured(now, wait, sub.items, &cost, svc);
             if self.sampler.sampled(sub.query) {
                 telem.trace(sub.query, SpanKind::Queue, sub.ready, wait);
-                telem.trace(sub.query, SpanKind::Back, now, cost.latency);
+                telem.trace(sub.query, SpanKind::Back, start, svc);
             }
-            self.push(now + cost.latency, Ev::BackDone { worker, sub });
+            self.push(start + svc, Ev::BackDone { worker, sub });
         }
     }
 
@@ -238,13 +369,20 @@ impl<'a> Exec<'a> {
         else {
             return;
         };
+        // L1 of the ladder tightens the flush deadline through the shared
+        // controls; unsupervised runs read the static config value.
+        let max_delay = if self.supervised {
+            self.controls.batch_delay()
+        } else {
+            self.cfg.batch.max_delay
+        };
         while !self.gpu_free.is_empty() && !self.fuse_buf.is_empty() {
             if let Some(limit) = fusion_limit {
                 let head_ready = self.fuse_buf.front().expect("non-empty").ready;
                 let filled = self.fuse_items >= limit as u64;
-                if !filled && now.saturating_since(head_ready) < self.cfg.batch.max_delay {
+                if !filled && now.saturating_since(head_ready) < max_delay {
                     // Wait for the batch to fill or the deadline to pass.
-                    let deadline = head_ready + self.cfg.batch.max_delay;
+                    let deadline = head_ready + max_delay;
                     if self.flush_armed != Some(deadline) {
                         self.flush_armed = Some(deadline);
                         self.push(deadline, Ev::Flush);
@@ -278,7 +416,13 @@ impl<'a> Exec<'a> {
             let load_dur = pcie_transfer_time(bytes, gpu, 1);
             self.pcie_free = load_start + load_dur;
             self.gpu_telem[ctx as usize].record_pcie(load_start, load_dur);
-            let compute = oracle.service_cost(items).latency;
+            let mut compute = oracle.service_cost(items).latency;
+            if self.faulty {
+                let mult = self.book.gpu_mult(ctx, load_start + load_dur);
+                if mult != 1.0 {
+                    compute = compute.mul_f64(mult);
+                }
+            }
             if self.sampler.enabled() {
                 for sub in &subs {
                     if self.sampler.sampled(sub.query) {
@@ -303,14 +447,22 @@ impl<'a> Exec<'a> {
     }
 
     fn complete(&mut self, stage: StageKind, worker: u32, sub: &Sub, now: SimTime) {
-        if let Some((lat, phases)) = self.table.complete(sub, now) {
+        if let Some(r) = self.table.complete(sub, now) {
             let in_window = self.window.measures(self.table.arrival(sub.query));
+            let on_time = self.cfg.deadline.budget.map_or(true, |b| r.latency <= b);
             let telem = match stage {
                 StageKind::Front => &mut self.front_telem[worker as usize],
                 StageKind::Back => &mut self.back_telem[worker as usize],
                 StageKind::Gpu => &mut self.gpu_telem[worker as usize],
             };
-            telem.record_completion(lat, &phases, in_window);
+            if r.flags & FLAG_EXPIRED != 0 {
+                // A sibling blew the deadline mid-flight: the whole query
+                // retires expired, never as a completion.
+                telem.record_expired();
+            } else {
+                let degraded = r.flags & FLAG_DEGRADED != 0;
+                telem.record_completion(r.latency, &r.phases, in_window, degraded, on_time);
+            }
             if self.sampler.sampled(sub.query) {
                 telem.trace(sub.query, SpanKind::Complete, now, SimDuration::ZERO);
             }
@@ -345,23 +497,54 @@ impl<'a> Exec<'a> {
             stages,
             admitted: self.admission.admitted(),
             shed: self.admission.shed(),
+            suspect_workers: self.controls.suspect_count(),
+            dead_workers: self.controls.dead_count(),
+            degrade_level: self.controls.level(),
         }
     }
 
+    /// One supervisor boundary: feed it the current plane state plus every
+    /// CPU worker's last heartbeat.
+    fn sup_tick(&self, sup: &mut Supervisor, b: SimTime) {
+        let state = self.plane_state(b);
+        let front_beats: Vec<SimTime> = self.front_telem.iter().map(|w| w.last_beat).collect();
+        let back_beats: Vec<SimTime> = self.back_telem.iter().map(|w| w.last_beat).collect();
+        sup.tick(&state, &front_beats, &back_beats, b);
+    }
+
     fn run(&mut self, mut obs: Option<&mut RuntimeObserver>) {
-        // Observation boundaries are processed inline between events, NOT
-        // as heap entries: heap entries consume `seq` tie-break numbers,
-        // so enqueueing them would perturb event ordering and break the
-        // bitwise identity of observed vs unobserved runs.
+        // Observation and supervision boundaries are processed inline
+        // between events, NOT as heap entries: heap entries consume `seq`
+        // tie-break numbers, so enqueueing them would perturb event
+        // ordering and break the bitwise identity of observed vs
+        // unobserved (and unfaulted vs `FaultPlan::none()`) runs.
         let period = obs.as_deref().map(RuntimeObserver::period);
         let mut boundary = period.map(|p| SimTime::ZERO + p);
+        let mut sup = self.supervisor.take();
+        let sup_period = sup.as_ref().map(Supervisor::period);
+        let mut sup_boundary = sup_period.map(|p| SimTime::ZERO + p);
         while let Some(entry) = self.heap.pop() {
             let now = entry.time;
-            if let Some(o) = obs.as_deref_mut() {
-                let p = period.expect("observer implies a period");
-                while let Some(b) = boundary.filter(|b| *b < now && *b < self.window.horizon) {
-                    o.tick(self.plane_state(b));
-                    boundary = Some(b + p);
+            loop {
+                // Drain both boundary streams in time order (observer
+                // first on ties, so snapshots never see a post-tick
+                // control plane at the same instant).
+                let ob = boundary.filter(|b| *b < now && *b < self.window.horizon);
+                let sb = sup_boundary.filter(|b| *b < now && *b < self.window.horizon);
+                match (ob, sb) {
+                    (Some(b), s) if s.map_or(true, |s| b <= s) => {
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.tick(self.plane_state(b));
+                        }
+                        boundary = Some(b + period.expect("boundary implies a period"));
+                    }
+                    (_, Some(s)) => {
+                        if let Some(sv) = sup.as_mut() {
+                            self.sup_tick(sv, s);
+                        }
+                        sup_boundary = Some(s + sup_period.expect("boundary implies a period"));
+                    }
+                    _ => break,
                 }
             }
             if now > self.window.horizon {
@@ -463,6 +646,20 @@ pub(crate) fn run(
         BackKind::Host { threads, .. } => (threads, 0),
         BackKind::Gpu { ctxs, .. } => (0, ctxs),
     };
+    let book = FaultBook::build(&cfg.faults, front_threads, back_threads, gpu_ctxs);
+    let controls = RuntimeControls::new(cfg.batch.max_delay);
+    let supervised = cfg.supervisor.enabled;
+    let supervisor = supervised.then(|| {
+        Supervisor::new(
+            cfg.supervisor,
+            Arc::clone(&controls),
+            per_sub_s,
+            cfg.batch.max_delay,
+        )
+    });
+    let faulty = !book.is_empty() || supervised;
+    let deadline_drop = cfg.deadline.drop_expired && cfg.deadline.budget.is_some();
+
     let tracing = cfg.trace.enabled();
     let telem = |stage: StageKind, n: u32| -> Vec<WorkerTelemetry> {
         (0..n)
@@ -501,6 +698,12 @@ pub(crate) fn run(
         batches: Vec::new(),
         sampler: TraceSampler::new(cfg.seed, cfg.trace.sample_one_in),
         admit_ring: tracing.then(|| TraceRing::with_capacity(cfg.trace.ring_capacity as usize)),
+        book,
+        controls,
+        supervisor,
+        faulty,
+        supervised,
+        deadline_drop,
     };
 
     let measured_arrivals = queries
@@ -523,6 +726,7 @@ pub(crate) fn run(
         arena: None,
         cache_predicted: None,
         dispatch_trace: exec.admit_ring.take(),
+        join_failures: 0,
     };
     let workers: Vec<WorkerTelemetry> = exec
         .front_telem

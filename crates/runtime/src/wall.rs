@@ -30,6 +30,7 @@
 //! thread closes the next stage's queue once every upstream producer has
 //! joined — the run therefore drains completely and `in_flight` is zero.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -45,12 +46,13 @@ use hercules_workload::query::Query;
 use crate::admission::{AdmissionController, ServiceEwma};
 use crate::affinity::{self, CorePlan};
 use crate::config::{ClockMode, RuntimeConfig};
+use crate::fault::{degraded_latency, FaultBook, RuntimeControls, Supervisor};
 use crate::memory::{EmbeddingArena, GatherScratch};
 use crate::observe::{PlaneState, RuntimeObserver, StageState};
 use crate::queue::{PopResult, SyncQueue};
 use crate::report::{assemble, RunTotals, RuntimeReport};
 use crate::serve::{arrivals, RunWindow};
-use crate::stage::{BackKind, QueryTable, Stages, Sub};
+use crate::stage::{BackKind, QueryTable, Retired, Stages, Sub, FLAG_DEGRADED, FLAG_EXPIRED};
 use crate::telemetry::{thread_allocs, StageKind, TelemetrySlot, WorkerTelemetry};
 use crate::trace::{SpanKind, TraceEvent, TraceRing, TraceSampler, DISPATCH_TID};
 
@@ -159,6 +161,17 @@ fn dense_residual(cost: &BatchCost) -> SimDuration {
     cost.latency.mul_f64((1.0 - sparse / total).clamp(0.0, 1.0))
 }
 
+/// Classifies a retired query into the worker's telemetry: expired
+/// retirements never enter the completion accounts or the histogram.
+fn account_retired(t: &mut WorkerTelemetry, r: &Retired, in_window: bool, on_time: bool) {
+    if r.flags & FLAG_EXPIRED != 0 {
+        t.record_expired();
+    } else {
+        let degraded = r.flags & FLAG_DEGRADED != 0;
+        t.record_completion(r.latency, &r.phases, in_window, degraded, on_time);
+    }
+}
+
 /// Touches every batch size the run can dispatch through each stage's
 /// memoized cost oracle, so steady-state `service_cost_shared` calls are
 /// pure cache hits (a cold miss mid-run would heap-allocate a `BatchCost`
@@ -259,6 +272,16 @@ pub(crate) fn run(
 
     prewarm_oracles(&stages, &queries);
 
+    // Fault plane: resolve the plan against the pools once, share the
+    // control block between workers, dispatcher, and supervisor. With the
+    // default config (`FaultPlan::none()`, supervisor off, no deadline)
+    // every gate below is false and the serving path is unchanged.
+    let book = FaultBook::build(&cfg.faults, front_threads, back_threads, gpu_ctxs);
+    let controls = RuntimeControls::new(cfg.batch.max_delay);
+    let supervised = cfg.supervisor.enabled;
+    let faulty = !book.is_empty() || supervised;
+    let deadline_drop = cfg.deadline.drop_expired && cfg.deadline.budget.is_some();
+
     // Observability plane: per-worker seqlock slots (read by the observer
     // thread), the deterministic trace sampler, and the dispatcher's own
     // trace ring. Slots and rings are built here, before any worker
@@ -268,9 +291,12 @@ pub(crate) fn run(
     let ring_cap = cfg.trace.ring_capacity as usize;
     let mut dispatch_ring = tracing.then(|| TraceRing::with_capacity(ring_cap));
     let observing = observer.is_some();
+    // The supervisor reads worker heartbeats (and plane state) through the
+    // same slots the observer uses, so either consumer materializes them.
+    let slots_on = observing || supervised;
     let hist_len = LatencyHistogram::default_latency().counts().len();
     let slots = |n: u32| -> Vec<Arc<TelemetrySlot>> {
-        if !observing {
+        if !slots_on {
             return Vec::new();
         }
         (0..n)
@@ -297,7 +323,47 @@ pub(crate) fn run(
     let clock = WallClock::start(time_scale);
     let started = Instant::now();
     let mut workers: Vec<WorkerTelemetry> = Vec::new();
+    let mut join_failures = 0u64;
     let mut rng_root = SimRng::seed_from(cfg.seed ^ 0xC0FE_FEED_5EED_1234);
+
+    // One consistent-plane reader shared by the observer and supervisor
+    // threads (declared before the thread scope so borrows outlive both).
+    let read_plane = {
+        let (front_slots, back_slots, gpu_slots) = (&front_slots, &back_slots, &gpu_slots);
+        let (front_q, back_q, fuse_q) = (&front_q, &back_q, &fuse_q);
+        let (counters, controls) = (&counters, &controls);
+        move |t: SimTime| -> PlaneState {
+            let mut stages = Vec::new();
+            let mut add = |slots: &[Arc<TelemetrySlot>], stage: StageKind, depth: usize| {
+                let Some((first, rest)) = slots.split_first() else {
+                    return;
+                };
+                let mut cum = first.read();
+                for s in rest {
+                    cum.absorb(&s.read());
+                }
+                stages.push(StageState {
+                    stage,
+                    workers: slots.len() as u32,
+                    cum,
+                    queue_depth: depth,
+                });
+            };
+            add(front_slots, StageKind::Front, front_q.depth());
+            add(back_slots, StageKind::Back, back_q.depth());
+            add(gpu_slots, StageKind::Gpu, fuse_q.depth());
+            PlaneState {
+                t,
+                stages,
+                admitted: counters.admitted(),
+                shed: counters.shed(),
+                suspect_workers: controls.suspect_count(),
+                dead_workers: controls.dead_count(),
+                degrade_level: controls.level(),
+            }
+        }
+    };
+    let read_plane = &read_plane;
 
     std::thread::scope(|scope| {
         // ── Worker pools ────────────────────────────────────────────────
@@ -306,6 +372,7 @@ pub(crate) fn run(
             for w in 0..threads {
                 let (front_q, back_q, fuse_q, table, back, plan) =
                     (&front_q, &back_q, &fuse_q, &table, stages.back, &plan);
+                let (book, controls) = (&book, &controls);
                 let mut rng = rng_root.fork();
                 let ewma = measured_feed.clone();
                 let slot = front_slots.get(w as usize).map(Arc::clone);
@@ -325,99 +392,185 @@ pub(crate) fn run(
                         (Some(a), Some(m)) => Some(a.cache_shard(m)),
                         _ => None,
                     };
-                    while let Some(sub) = front_q.pop_wait() {
-                        let sample = t.batches >= HOT_WARMUP;
-                        let allocs_before = thread_allocs();
-                        let traced = sampler.sampled(sub.query);
-                        let now = clock.now();
-                        let wait = now.saturating_since(sub.ready);
-                        let cost = oracle.service_cost_shared(sub.items);
-                        table.add_queuing(&sub, wait);
-                        let done = match arena {
-                            Some(arena) => {
-                                // Real sparse phase: measured gather plus
-                                // the modeled dense residual. The measured
-                                // total replaces the modeled latency in
-                                // every latency-facing account.
-                                let kernel_start = Instant::now();
-                                let (outcome, penalty) = match cache.as_mut() {
-                                    Some(shard) => {
-                                        let (outcome, stats) = arena.gather_cached(
-                                            sub.items,
-                                            &mut rng,
-                                            &mut scratch,
-                                            shard,
-                                        );
-                                        t.record_cache(&stats);
-                                        // Missed rows pay the modeled
-                                        // cold-tier penalty on top of the
-                                        // DRAM time the gather itself
-                                        // just charged.
-                                        (outcome, miss_penalty.mul_f64(stats.misses as f64))
+                    let panic_at = book.panic_at(StageKind::Front, w);
+                    // The serving loop runs under a panic boundary: a worker
+                    // that panics (injected or genuine) is contained — it
+                    // marks itself dead and returns its telemetry, the rest
+                    // of the pool keeps serving.
+                    let served = catch_unwind(AssertUnwindSafe(|| {
+                        while let Some(sub) = front_q.pop_wait() {
+                            let sample = t.batches >= HOT_WARMUP;
+                            let allocs_before = thread_allocs();
+                            let traced = sampler.sampled(sub.query);
+                            let mut now = clock.now();
+                            t.heartbeat(now);
+                            if let Some(at) = panic_at {
+                                if now >= at {
+                                    panic!("injected fault: worker panic");
+                                }
+                            }
+                            if faulty {
+                                if let Some(end) = book.stall_end(StageKind::Front, w, now) {
+                                    // Stalled: hand the sub back to the pool
+                                    // (bounded by the retry budget; the
+                                    // non-blocking push cannot deadlock the
+                                    // consumer), then freeze until the stall
+                                    // lifts.
+                                    if (sub.retries as u32) < cfg.deadline.retry_budget
+                                        && front_q.try_push_all(std::iter::once(Sub {
+                                            retries: sub.retries + 1,
+                                            ..sub
+                                        }))
+                                    {
+                                        t.redistributed += 1;
+                                        clock.wait_until(end);
+                                        continue;
                                     }
-                                    None => (
-                                        arena.gather(sub.items, &mut rng, &mut scratch),
-                                        SimDuration::ZERO,
-                                    ),
-                                };
-                                let gather_wall_s = kernel_start.elapsed().as_secs_f64();
-                                t.record_gather(&outcome, gather_wall_s);
-                                if traced {
-                                    t.trace(
-                                        sub.query,
-                                        SpanKind::Gather,
-                                        now,
-                                        SimDuration::from_secs_f64(gather_wall_s / time_scale),
-                                    );
+                                    clock.wait_until(end);
+                                    now = clock.now();
                                 }
-                                clock.busy_wait(dense_residual(&cost) + penalty);
-                                let done = clock.now();
-                                let service = done.saturating_since(now);
-                                table.add_inference(&sub, service);
-                                t.record_cpu_measured(now, wait, sub.items, &cost, service);
-                                if let Some(feed) = &ewma {
-                                    feed.record(service.as_secs_f64());
+                            }
+                            if deadline_drop {
+                                let budget = cfg.deadline.budget.expect("deadline_drop implies");
+                                if now > table.arrival(sub.query) + budget {
+                                    if table.drop_expired(&sub, now).is_some() {
+                                        t.record_expired();
+                                    }
+                                    t.publish();
+                                    continue;
                                 }
-                                done
                             }
-                            None => {
-                                table.add_inference(&sub, cost.latency);
-                                t.record_cpu(now, wait, sub.items, &cost);
-                                clock.busy_wait(cost.latency);
-                                clock.now()
-                            }
-                        };
-                        if traced {
-                            t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
-                            t.trace(sub.query, SpanKind::Front, now, done.saturating_since(now));
-                        }
-                        match back {
-                            BackKind::None => {
-                                if let Some((lat, phases)) = table.complete(&sub, done) {
-                                    let in_window = window.measures(table.arrival(sub.query));
-                                    t.record_completion(lat, &phases, in_window);
+                            let wait = now.saturating_since(sub.ready);
+                            let cost = oracle.service_cost_shared(sub.items);
+                            table.add_queuing(&sub, wait);
+                            let degrade = supervised && controls.degrade_gather();
+                            let derate = if faulty {
+                                book.service_mult(StageKind::Front, w, now)
+                            } else {
+                                1.0
+                            };
+                            let done = match arena {
+                                Some(arena) => {
+                                    // Real sparse phase: measured gather plus
+                                    // the modeled dense residual. The measured
+                                    // total replaces the modeled latency in
+                                    // every latency-facing account.
+                                    let kernel_start = Instant::now();
+                                    let (outcome, penalty) = match cache.as_mut() {
+                                        Some(shard) => {
+                                            let (outcome, stats) = arena.gather_cached(
+                                                sub.items,
+                                                &mut rng,
+                                                &mut scratch,
+                                                shard,
+                                            );
+                                            t.record_cache(&stats);
+                                            // Missed rows pay the modeled
+                                            // cold-tier penalty on top of the
+                                            // DRAM time the gather itself
+                                            // just charged — unless the ladder
+                                            // is at L2, where misses are
+                                            // skipped instead of fetched.
+                                            let penalty = if degrade {
+                                                SimDuration::ZERO
+                                            } else {
+                                                miss_penalty.mul_f64(stats.misses as f64)
+                                            };
+                                            (outcome, penalty)
+                                        }
+                                        None => (
+                                            arena.gather(sub.items, &mut rng, &mut scratch),
+                                            SimDuration::ZERO,
+                                        ),
+                                    };
+                                    if degrade {
+                                        table.mark_degraded(&sub);
+                                    }
+                                    let gather_wall_s = kernel_start.elapsed().as_secs_f64();
+                                    t.record_gather(&outcome, gather_wall_s);
                                     if traced {
                                         t.trace(
                                             sub.query,
-                                            SpanKind::Complete,
-                                            done,
-                                            SimDuration::ZERO,
+                                            SpanKind::Gather,
+                                            now,
+                                            SimDuration::from_secs_f64(gather_wall_s / time_scale),
                                         );
                                     }
+                                    let mut residual = dense_residual(&cost) + penalty;
+                                    if derate != 1.0 {
+                                        residual = residual.mul_f64(derate);
+                                    }
+                                    clock.busy_wait(residual);
+                                    let done = clock.now();
+                                    let service = done.saturating_since(now);
+                                    table.add_inference(&sub, service);
+                                    t.record_cpu_measured(now, wait, sub.items, &cost, service);
+                                    if let Some(feed) = &ewma {
+                                        feed.record(service.as_secs_f64());
+                                    }
+                                    done
+                                }
+                                None => {
+                                    let mut svc = cost.latency;
+                                    if degrade {
+                                        // L2: serve cache-hit rows only,
+                                        // priced through the oracle.
+                                        svc = degraded_latency(&cost, cfg.supervisor.degraded_keep);
+                                        table.mark_degraded(&sub);
+                                    }
+                                    if derate != 1.0 {
+                                        svc = svc.mul_f64(derate);
+                                    }
+                                    table.add_inference(&sub, svc);
+                                    t.record_cpu_measured(now, wait, sub.items, &cost, svc);
+                                    clock.busy_wait(svc);
+                                    clock.now()
+                                }
+                            };
+                            if traced {
+                                t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                                t.trace(
+                                    sub.query,
+                                    SpanKind::Front,
+                                    now,
+                                    done.saturating_since(now),
+                                );
+                            }
+                            match back {
+                                BackKind::None => {
+                                    if let Some(r) = table.complete(&sub, done) {
+                                        let in_window = window.measures(table.arrival(sub.query));
+                                        let on_time =
+                                            cfg.deadline.budget.map_or(true, |b| r.latency <= b);
+                                        account_retired(&mut t, &r, in_window, on_time);
+                                        if traced {
+                                            t.trace(
+                                                sub.query,
+                                                SpanKind::Complete,
+                                                done,
+                                                SimDuration::ZERO,
+                                            );
+                                        }
+                                    }
+                                }
+                                BackKind::Host { .. } => {
+                                    back_q.push_wait(Sub { ready: done, ..sub });
+                                }
+                                BackKind::Gpu { .. } => {
+                                    fuse_q.push_wait(Sub { ready: done, ..sub });
                                 }
                             }
-                            BackKind::Host { .. } => {
-                                back_q.push_wait(Sub { ready: done, ..sub });
-                            }
-                            BackKind::Gpu { .. } => {
-                                fuse_q.push_wait(Sub { ready: done, ..sub });
+                            t.publish();
+                            if sample {
+                                t.record_hot_allocs(thread_allocs() - allocs_before);
                             }
                         }
-                        t.publish();
-                        if sample {
-                            t.record_hot_allocs(thread_allocs() - allocs_before);
-                        }
+                    }));
+                    if served.is_err() {
+                        t.failed = true;
+                        controls.mark_dead(StageKind::Front, w);
                     }
+                    t.publish();
                     t
                 }));
             }
@@ -427,6 +580,7 @@ pub(crate) fn run(
         if let BackKind::Host { oracle, threads } = stages.back {
             for w in 0..threads {
                 let (back_q, table, plan) = (&back_q, &table, &plan);
+                let (book, controls) = (&book, &controls);
                 let slot = back_slots.get(w as usize).map(Arc::clone);
                 back_handles.push(scope.spawn(move || {
                     if let Some(core) = plan.back_core(w as usize) {
@@ -439,34 +593,82 @@ pub(crate) fn run(
                     if tracing {
                         t = t.with_trace(ring_cap);
                     }
-                    while let Some(sub) = back_q.pop_wait() {
-                        let sample = t.batches >= HOT_WARMUP;
-                        let allocs_before = thread_allocs();
-                        let traced = sampler.sampled(sub.query);
-                        let now = clock.now();
-                        let wait = now.saturating_since(sub.ready);
-                        let cost = oracle.service_cost_shared(sub.items);
-                        table.add_queuing(&sub, wait);
-                        table.add_inference(&sub, cost.latency);
-                        t.record_cpu(now, wait, sub.items, &cost);
-                        clock.busy_wait(cost.latency);
-                        let done = clock.now();
-                        if traced {
-                            t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
-                            t.trace(sub.query, SpanKind::Back, now, done.saturating_since(now));
-                        }
-                        if let Some((lat, phases)) = table.complete(&sub, done) {
-                            let in_window = window.measures(table.arrival(sub.query));
-                            t.record_completion(lat, &phases, in_window);
+                    let panic_at = book.panic_at(StageKind::Back, w);
+                    let served = catch_unwind(AssertUnwindSafe(|| {
+                        while let Some(sub) = back_q.pop_wait() {
+                            let sample = t.batches >= HOT_WARMUP;
+                            let allocs_before = thread_allocs();
+                            let traced = sampler.sampled(sub.query);
+                            let mut now = clock.now();
+                            t.heartbeat(now);
+                            if let Some(at) = panic_at {
+                                if now >= at {
+                                    panic!("injected fault: worker panic");
+                                }
+                            }
+                            if faulty {
+                                if let Some(end) = book.stall_end(StageKind::Back, w, now) {
+                                    if (sub.retries as u32) < cfg.deadline.retry_budget
+                                        && back_q.try_push_all(std::iter::once(Sub {
+                                            retries: sub.retries + 1,
+                                            ..sub
+                                        }))
+                                    {
+                                        t.redistributed += 1;
+                                        clock.wait_until(end);
+                                        continue;
+                                    }
+                                    clock.wait_until(end);
+                                    now = clock.now();
+                                }
+                            }
+                            if deadline_drop {
+                                let budget = cfg.deadline.budget.expect("deadline_drop implies");
+                                if now > table.arrival(sub.query) + budget {
+                                    if table.drop_expired(&sub, now).is_some() {
+                                        t.record_expired();
+                                    }
+                                    t.publish();
+                                    continue;
+                                }
+                            }
+                            let wait = now.saturating_since(sub.ready);
+                            let cost = oracle.service_cost_shared(sub.items);
+                            table.add_queuing(&sub, wait);
+                            let mut svc = cost.latency;
+                            if faulty {
+                                let derate = book.service_mult(StageKind::Back, w, now);
+                                if derate != 1.0 {
+                                    svc = svc.mul_f64(derate);
+                                }
+                            }
+                            table.add_inference(&sub, svc);
+                            t.record_cpu_measured(now, wait, sub.items, &cost, svc);
+                            clock.busy_wait(svc);
+                            let done = clock.now();
                             if traced {
-                                t.trace(sub.query, SpanKind::Complete, done, SimDuration::ZERO);
+                                t.trace(sub.query, SpanKind::Queue, sub.ready, wait);
+                                t.trace(sub.query, SpanKind::Back, now, done.saturating_since(now));
+                            }
+                            if let Some(r) = table.complete(&sub, done) {
+                                let in_window = window.measures(table.arrival(sub.query));
+                                let on_time = cfg.deadline.budget.map_or(true, |b| r.latency <= b);
+                                account_retired(&mut t, &r, in_window, on_time);
+                                if traced {
+                                    t.trace(sub.query, SpanKind::Complete, done, SimDuration::ZERO);
+                                }
+                            }
+                            t.publish();
+                            if sample {
+                                t.record_hot_allocs(thread_allocs() - allocs_before);
                             }
                         }
-                        t.publish();
-                        if sample {
-                            t.record_hot_allocs(thread_allocs() - allocs_before);
-                        }
+                    }));
+                    if served.is_err() {
+                        t.failed = true;
+                        controls.mark_dead(StageKind::Back, w);
                     }
+                    t.publish();
                     t
                 }));
             }
@@ -486,6 +688,7 @@ pub(crate) fn run(
             // flush once its head has waited out the batch policy.
             let (fuse_q, gpu_q, free_q, table, pcie, plan) =
                 (&fuse_q, &gpu_q, &free_q, &table, &pcie, &plan);
+            let (book, controls) = (&book, &controls);
             batcher_handle = Some(scope.spawn(move || {
                 let mut pending: Option<Sub> = None;
                 while let Some(first) = pending.take().or_else(|| fuse_q.pop_wait()) {
@@ -500,8 +703,13 @@ pub(crate) fn run(
                     // The flush deadline is anchored to the head sub's
                     // *ready* time (the BatchPolicy contract, matching the
                     // virtual clock) — not to when the batcher got around
-                    // to popping it.
-                    let deadline = clock.wall_target(first.ready + cfg.batch.max_delay);
+                    // to popping it. The ladder's L1 tightens it live.
+                    let max_delay = if supervised {
+                        controls.batch_delay()
+                    } else {
+                        cfg.batch.max_delay
+                    };
+                    let deadline = clock.wall_target(first.ready + max_delay);
                     let mut items = first.items;
                     while items < limit {
                         match fuse_q.pop_deadline(deadline) {
@@ -552,7 +760,14 @@ pub(crate) fn run(
                             .saturating_since(batch.subs.first().map_or(load_start, |s| s.ready));
                         let compute_start = clock.now();
                         t.record_gpu(compute_start, head_wait, batch.items, &cost, ctxs);
-                        clock.busy_wait(cost.latency);
+                        let mut compute = cost.latency;
+                        if faulty {
+                            let mult = book.gpu_mult(ctx, compute_start);
+                            if mult != 1.0 {
+                                compute = compute.mul_f64(mult);
+                            }
+                        }
+                        clock.busy_wait(compute);
                         let done = clock.now();
                         for sub in &batch.subs {
                             let wait = load_start.saturating_since(sub.ready);
@@ -570,9 +785,10 @@ pub(crate) fn run(
                                     done.saturating_since(compute_start),
                                 );
                             }
-                            if let Some((lat, phases)) = table.complete(sub, done) {
+                            if let Some(r) = table.complete(sub, done) {
                                 let in_window = window.measures(table.arrival(sub.query));
-                                t.record_completion(lat, &phases, in_window);
+                                let on_time = cfg.deadline.budget.map_or(true, |b| r.latency <= b);
+                                account_retired(&mut t, &r, in_window, on_time);
                                 if traced {
                                     t.trace(sub.query, SpanKind::Complete, done, SimDuration::ZERO);
                                 }
@@ -593,39 +809,42 @@ pub(crate) fn run(
             }
         }
 
-        // ── Observer thread: poll the slots at the configured period ────
-        let obs_handle = observer.map(|obs| {
-            let (front_slots, back_slots, gpu_slots) = (&front_slots, &back_slots, &gpu_slots);
-            let (front_q, back_q, fuse_q) = (&front_q, &back_q, &fuse_q);
-            let (counters, stop) = (&counters, &stop);
+        // ── Observer + supervisor threads: poll the slots periodically ──
+        let sup_handle = supervised.then(|| {
+            let (front_slots, back_slots) = (&front_slots, &back_slots);
+            let (controls, stop) = (&controls, &stop);
+            let mut sup = Supervisor::new(
+                cfg.supervisor,
+                Arc::clone(controls),
+                per_sub_s,
+                cfg.batch.max_delay,
+            );
             scope.spawn(move || {
-                let read_plane = |t: SimTime| -> PlaneState {
-                    let mut stages = Vec::new();
-                    let mut add = |slots: &[Arc<TelemetrySlot>], stage: StageKind, depth: usize| {
-                        let Some((first, rest)) = slots.split_first() else {
-                            return;
-                        };
-                        let mut cum = first.read();
-                        for s in rest {
-                            cum.absorb(&s.read());
+                let period = sup.period();
+                let mut next = SimTime::ZERO + period;
+                'sup: while !stop.load(Ordering::Acquire) {
+                    let target = clock.wall_target(next);
+                    while let Some(left) = target.checked_duration_since(Instant::now()) {
+                        if stop.load(Ordering::Acquire) {
+                            break 'sup;
                         }
-                        stages.push(StageState {
-                            stage,
-                            workers: slots.len() as u32,
-                            cum,
-                            queue_depth: depth,
-                        });
-                    };
-                    add(front_slots, StageKind::Front, front_q.depth());
-                    add(back_slots, StageKind::Back, back_q.depth());
-                    add(gpu_slots, StageKind::Gpu, fuse_q.depth());
-                    PlaneState {
-                        t,
-                        stages,
-                        admitted: counters.admitted(),
-                        shed: counters.shed(),
+                        std::thread::sleep(left.min(Duration::from_millis(5)));
                     }
-                };
+                    let now = clock.now();
+                    let state = read_plane(now);
+                    let front_beats: Vec<SimTime> =
+                        front_slots.iter().map(|s| s.last_beat()).collect();
+                    let back_beats: Vec<SimTime> =
+                        back_slots.iter().map(|s| s.last_beat()).collect();
+                    sup.tick(&state, &front_beats, &back_beats, now);
+                    next += period;
+                }
+            })
+        });
+
+        let obs_handle = observer.map(|obs| {
+            let stop = &stop;
+            scope.spawn(move || {
                 let period = obs.period();
                 let mut next = SimTime::ZERO + period;
                 'poll: while !stop.load(Ordering::Acquire) {
@@ -658,6 +877,11 @@ pub(crate) fn run(
         };
         for (i, q) in queries.iter().enumerate() {
             clock.wait_until(q.arrival);
+            if supervised && controls.shedding() {
+                // L3: the ladder has decided new work cannot be served.
+                admission.shed_forced();
+                continue;
+            }
             if !admission.admit(ingress.len()) {
                 continue;
             }
@@ -680,6 +904,7 @@ pub(crate) fn run(
                 items,
                 n_subs,
                 ready: q.arrival,
+                retries: 0,
             });
             if !ingress.try_push_all(subs) {
                 table.admit(i as u32, 0);
@@ -688,26 +913,49 @@ pub(crate) fn run(
         }
 
         // ── Shutdown cascade: close each stage once its producers exit ──
+        // Joins never panic the run: worker panics are contained inside
+        // the pool boundary (the worker returns its telemetry with
+        // `failed` set), and anything that still escapes — a panic outside
+        // the serving loop — is counted, not propagated, so the report is
+        // always assembled.
         front_q.close();
         for h in front_handles {
-            workers.push(h.join().expect("front worker panicked"));
+            match h.join() {
+                Ok(t) => workers.push(t),
+                Err(_) => join_failures += 1,
+            }
         }
         back_q.close();
         fuse_q.close();
         for h in back_handles {
-            workers.push(h.join().expect("back worker panicked"));
+            match h.join() {
+                Ok(t) => workers.push(t),
+                Err(_) => join_failures += 1,
+            }
         }
         if let Some(h) = batcher_handle {
-            h.join().expect("batcher panicked");
+            if h.join().is_err() {
+                join_failures += 1;
+            }
         }
         for h in gpu_handles {
-            workers.push(h.join().expect("gpu worker panicked"));
+            match h.join() {
+                Ok(t) => workers.push(t),
+                Err(_) => join_failures += 1,
+            }
         }
-        // Every pool has quiesced; release the observer for its final,
-        // exact end-of-run snapshot.
+        // Every pool has quiesced; release the observer and supervisor for
+        // their final reads.
         stop.store(true, Ordering::Release);
+        if let Some(h) = sup_handle {
+            if h.join().is_err() {
+                join_failures += 1;
+            }
+        }
         if let Some(h) = obs_handle {
-            h.join().expect("observer panicked");
+            if h.join().is_err() {
+                join_failures += 1;
+            }
         }
     });
 
@@ -729,6 +977,7 @@ pub(crate) fn run(
             _ => None,
         },
         dispatch_trace: dispatch_ring,
+        join_failures,
     };
     assemble(server, cfg, workers, totals)
 }

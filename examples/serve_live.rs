@@ -8,7 +8,8 @@
 //! showing the deterministic executor and the threaded one agree.
 //!
 //! Run with: `cargo run --release --example serve_live [-- --gather real|synthetic]
-//! [--cache <MiB>] [--stats <secs>] [--metrics-out <path>] [--trace-out <path>]`
+//! [--cache <MiB>] [--stats <secs>] [--metrics-out <path>] [--trace-out <path>]
+//! [--faults <scenario>]`
 //!
 //! With `--gather real` (or `HERCULES_GATHER=real`) the wall-clock front
 //! pool performs genuine memory-bound embedding gathers against a resident
@@ -36,6 +37,14 @@
 //!   tracing (1-in-`HERCULES_TRACE_SAMPLE`, default 64) and writes the
 //!   collected spans as Chrome trace-event JSON after the run — load the
 //!   file in `chrome://tracing` or Perfetto.
+//!
+//! With `--faults <scenario>` (or `HERCULES_FAULTS`) the example instead
+//! runs a chaos comparison: the same wall-clock scenario twice under a
+//! seeded fault plan (`stall`, `slowcore`, `stall+slowcore`, `spike`,
+//! `gpu`, `panic`, `chaos`) — once unprotected (faults only, deadline
+//! tracked but not enforced) and once supervised (heartbeat-based worker
+//! health, the graceful-degradation ladder, and deadline enforcement) —
+//! and prints both goodputs plus a parseable `FAULTS ...` summary line.
 
 use hercules::common::units::{MemBytes, Qps, SimDuration};
 use hercules::hw::calib;
@@ -43,9 +52,9 @@ use hercules::hw::cost::{modeled_gather_bw_gbs, CacheSpec};
 use hercules::hw::server::ServerType;
 use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
 use hercules::runtime::{
-    chrome_trace_json, AdmissionPolicy, ClockMode, GatherMode, JsonLines, PinPolicy,
-    PrometheusFile, RuntimeConfig, RuntimeObserver, RuntimeReport, ServingRuntime, StatusLine,
-    TraceConfig,
+    chrome_trace_json, AdmissionPolicy, ClockMode, DeadlinePolicy, FaultPlan, GatherMode,
+    JsonLines, PinPolicy, PrometheusFile, RuntimeConfig, RuntimeObserver, RuntimeReport,
+    ServingRuntime, StatusLine, SupervisorPolicy, TraceConfig,
 };
 use hercules::sim::{NmpLutCache, PlacementPlan, SimConfig, SlaSpec};
 
@@ -134,8 +143,102 @@ fn trace_sample() -> u32 {
         .max(1)
 }
 
+/// The chaos comparison behind `--faults <scenario>`: one unprotected run
+/// (faults injected, deadline tracked but not enforced, no supervisor)
+/// against one supervised run (deadline enforced, heartbeat health, the
+/// degradation ladder), both on the wall clock.
+fn run_faults(scenario: &str, smoke: bool) {
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let server = ServerType::T2.spec();
+    let plan = PlacementPlan::CpuModel {
+        threads: 10,
+        workers: 2,
+        batch: 256,
+    };
+    let sla = SlaSpec::p95(model.default_sla());
+    let offered = Qps(std::env::var("HERCULES_OFFERED_QPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|q| *q > 0.0)
+        .unwrap_or(400.0));
+    let duration = if smoke {
+        SimDuration::from_millis(400)
+    } else {
+        SimDuration::from_millis(1500)
+    };
+    let sim_cfg = SimConfig {
+        duration,
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed: 7,
+    };
+    let faults = FaultPlan::scenario(scenario, sim_cfg.seed, duration).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!(
+        "fault injection: scenario {scenario:?} (seed {}) on {} under {} at {}",
+        sim_cfg.seed,
+        server.stype.label(),
+        plan.label(),
+        offered,
+    );
+    println!();
+
+    let luts = NmpLutCache::new();
+    let base = RuntimeConfig::from_sim(&sim_cfg)
+        .with_clock(ClockMode::wall())
+        .with_faults(faults);
+    let budget = sla.target;
+
+    let unprotected_cfg = base.with_deadline(DeadlinePolicy::track(budget));
+    let rt = ServingRuntime::build(&model, server.clone(), &plan, unprotected_cfg, &luts)
+        .expect("quickstart plan is feasible on a T2");
+    let unprotected = rt.serve(offered);
+    print_report("unprotected", &unprotected);
+    println!();
+
+    let supervised_cfg = base
+        .with_deadline(DeadlinePolicy::enforce(budget))
+        .with_supervisor(SupervisorPolicy::active(SimDuration::from_millis(2)));
+    let rt = ServingRuntime::build(&model, server, &plan, supervised_cfg, &luts)
+        .expect("quickstart plan is feasible on a T2");
+    let supervised = rt.serve(offered);
+    print_report("supervised", &supervised);
+    println!();
+
+    assert!(
+        unprotected.conserves() && supervised.conserves(),
+        "conservation law (arrivals = completed + expired + shed + in-flight)"
+    );
+    println!(
+        "goodput under {scenario:?}: unprotected {:.1} QPS -> supervised {:.1} QPS \
+         ({} degraded, {} redistributed, {} dropped past deadline, {} worker failures)",
+        unprotected.goodput.value(),
+        supervised.goodput.value(),
+        supervised.completed_degraded,
+        supervised.redistributed,
+        supervised.expired,
+        supervised.worker_failures + unprotected.worker_failures,
+    );
+    println!(
+        "FAULTS scenario={scenario} unprotected_goodput={:.3} supervised_goodput={:.3} \
+         degraded={} redistributed={} expired={} worker_failures={}",
+        unprotected.goodput.value(),
+        supervised.goodput.value(),
+        supervised.completed_degraded,
+        supervised.redistributed,
+        supervised.expired,
+        supervised.worker_failures + unprotected.worker_failures,
+    );
+}
+
 fn main() {
     let smoke = std::env::var_os("HERCULES_SMOKE").is_some();
+    if let Some(scenario) = flag_arg("--faults", "HERCULES_FAULTS") {
+        run_faults(&scenario, smoke);
+        return;
+    }
     let stats = stats_arg();
     let metrics_out = flag_arg("--metrics-out", "HERCULES_METRICS_OUT");
     let trace_out = flag_arg("--trace-out", "HERCULES_TRACE_OUT");
