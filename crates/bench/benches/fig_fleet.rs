@@ -1,0 +1,390 @@
+//! Fig. FL (extension) — fleet serving: replica sweep under a diurnal
+//! trace, autoscaler A/B, failover acceptance, planner cross-validation.
+//!
+//! Four panels over the same small replica (RMC1 production, T2,
+//! `CpuModel{2 threads, 2 workers, batch 256}`), all on the deterministic
+//! virtual fleet:
+//!
+//! 1. **Replica sweep** — a one-day `workload::diurnal` service-A trace
+//!    compressed into the run horizon, served by fleets of 1..=4 replicas
+//!    with cache-weighted shard placement: fleet p99 + goodput vs replica
+//!    count, showing the under-provisioned cliff and where capacity meets
+//!    the diurnal peak.
+//! 2. **Autoscaler A/B** — the identical diurnal trace on a 4-replica pool
+//!    starting from one active replica, with the telemetry-driven
+//!    autoscaler on vs off. On: windowed shed activates standbys up the
+//!    morning ramp. Off: the single replica sheds the whole day.
+//! 3. **Failover acceptance** — the ISSUE 10 bound: under a whole-node
+//!    `stall` (both front workers hung) the failover fleet's goodput must
+//!    be >= 2x the no-failover fleet (asserted; `panic` recorded too).
+//! 4. **Planner cross-validation** — the measured single-replica capacity
+//!    becomes an `EfficiencyTable` entry, `core::cluster` provisions the
+//!    diurnal peak statically, and the activated-server count must match
+//!    the smallest swept fleet that actually met demand (±1 replica).
+//!
+//! Emits `BENCH_fleet.json` at the workspace root.
+
+use hercules_bench::{banner, f, fast_mode, write_bench_json, Json, TableWriter};
+use hercules_common::units::{Qps, SimDuration, SimTime, Watts};
+use hercules_core::cluster::online::{run_online, WorkloadTrace};
+use hercules_core::cluster::policies::SolverChoice;
+use hercules_core::profiler::{EfficiencyEntry, EfficiencyTable};
+use hercules_core::HerculesScheduler;
+use hercules_fleet::{run_virtual_fleet, AutoscalerPolicy, FleetConfig, FleetReport};
+use hercules_hw::cost::{CacheModel, CacheSpec};
+use hercules_hw::server::{Fleet, ServerType};
+use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules_runtime::{
+    AdmissionPolicy, DeadlinePolicy, FaultPlan, RuntimeConfig, ServingRuntime, StageKind,
+    SupervisorPolicy,
+};
+use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig, SlaSpec};
+use hercules_workload::diurnal::DiurnalPattern;
+use hercules_workload::generator::QueryStream;
+use hercules_workload::query::{Query, QueryId};
+
+const SEED: u64 = 7;
+const POOL: usize = 4;
+
+fn replica(cfg: RuntimeConfig) -> ServingRuntime {
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let plan = PlacementPlan::CpuModel {
+        threads: 2,
+        workers: 2,
+        batch: 256,
+    };
+    ServingRuntime::build(
+        &model,
+        ServerType::T2.spec(),
+        &plan,
+        cfg,
+        &NmpLutCache::new(),
+    )
+    .expect("replica plan is feasible on a T2")
+}
+
+fn base_cfg(duration: SimDuration) -> RuntimeConfig {
+    RuntimeConfig::from_sim(&SimConfig {
+        duration,
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed: SEED,
+    })
+}
+
+/// One service-A day compressed into `duration`: 24 piecewise-constant
+/// "hours", each an independent seeded Poisson segment at that hour's
+/// diurnal rate, ids renumbered globally so shard routing stays unique.
+fn diurnal_trace(peak: Qps, duration: SimDuration, seed: u64) -> Vec<Query> {
+    let pattern = DiurnalPattern::service_a(peak);
+    let hours = 24u64;
+    let seg = duration.mul_f64(1.0 / hours as f64);
+    let mut out = Vec::new();
+    let mut next_id = 0u64;
+    for h in 0..hours {
+        let rate = pattern.load_at_hours(h as f64 + 0.5);
+        let start = duration.mul_f64(h as f64 / hours as f64);
+        let mut stream = QueryStream::paper(rate, seed.wrapping_add(h));
+        for q in stream.take_until(SimTime::ZERO + seg) {
+            out.push(Query {
+                id: QueryId(next_id),
+                arrival: q.arrival + start,
+                size: q.size,
+            });
+            next_id += 1;
+        }
+    }
+    // Segment boundaries can disagree by a rounding nanosecond; the router
+    // requires non-decreasing arrivals.
+    out.sort_by_key(|q| (q.arrival, q.id.0));
+    out
+}
+
+/// Mean rate the trace actually offers over the horizon.
+fn mean_rate(trace: &[Query], duration: SimDuration) -> Qps {
+    Qps(trace.len() as f64 / duration.as_secs_f64())
+}
+
+/// Worst per-replica end-to-end p99 across the fleet, milliseconds.
+fn fleet_p99_ms(report: &FleetReport) -> f64 {
+    report
+        .replicas
+        .iter()
+        .map(|r| r.report.sim.p99.as_millis_f64())
+        .fold(0.0, f64::max)
+}
+
+/// Both front workers stall at `0.25*d` for `0.60*d` (whole-node hang).
+fn node_hang(duration: SimDuration) -> FaultPlan {
+    let at = SimTime::ZERO + duration.mul_f64(0.25);
+    let span = duration.mul_f64(0.60);
+    FaultPlan::none()
+        .with_stall(StageKind::Front, 0, at, span)
+        .with_stall(StageKind::Front, 1, at, span)
+}
+
+/// Both front workers panic at `0.40*d` (whole-node death).
+fn node_death(duration: SimDuration) -> FaultPlan {
+    let at = SimTime::ZERO + duration.mul_f64(0.40);
+    FaultPlan::none()
+        .with_panic(StageKind::Front, 0, at)
+        .with_panic(StageKind::Front, 1, at)
+}
+
+fn main() {
+    banner("Fig. FL: fleet serving — replica sweep, autoscaler A/B, failover, planner x-val");
+    let fast = fast_mode();
+    let duration = SimDuration::from_millis(if fast { 1000 } else { 2000 });
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let sla = model.default_sla();
+    let peak = Qps(2000.0);
+    let trace = diurnal_trace(peak, duration, SEED);
+    let offered = mean_rate(&trace, duration);
+    let cache = CacheModel::plan(CacheSpec::per_worker_mib(64), &model.tables);
+    println!(
+        "replica: {} production on T2, CpuModel(2 threads, 2 workers, batch 256); \
+         diurnal service-A day compressed to {:.1}s, peak {:.0} QPS, mean {:.0} QPS \
+         ({} queries, seed {SEED})",
+        model.name(),
+        duration.as_secs_f64(),
+        peak.value(),
+        offered.value(),
+        trace.len(),
+    );
+    println!();
+
+    // ── Panel 1: fleet p99 + goodput vs replica count ────────────────────
+    let track = base_cfg(duration).with_deadline(DeadlinePolicy::track(sla));
+    let w = TableWriter::new(&[
+        ("replicas", 8),
+        ("goodput", 8),
+        ("p99 ms", 9),
+        ("shed", 6),
+        ("expired", 7),
+        ("rerouted", 8),
+    ]);
+    let mut sweep_rows: Vec<Json> = Vec::new();
+    let mut sweep_goodput = [0.0f64; POOL];
+    for n in 1..=POOL {
+        let pool: Vec<ServingRuntime> = (0..n).map(|_| replica(track)).collect();
+        let fleet_cfg = FleetConfig {
+            epoch: SimDuration::from_millis(50),
+            initial_replicas: n,
+            ..FleetConfig::default()
+        };
+        let report = run_virtual_fleet(&pool, Some(&cache), &fleet_cfg, &trace, offered);
+        assert!(report.conserves(), "fleet of {n}: conservation law");
+        let (g, p99) = (report.goodput().value(), fleet_p99_ms(&report));
+        sweep_goodput[n - 1] = g;
+        w.row(&[
+            n.to_string(),
+            f(g, 1),
+            f(p99, 2),
+            report.shed().to_string(),
+            report.expired().to_string(),
+            report.rerouted.to_string(),
+        ]);
+        sweep_rows.push(Json::obj([
+            ("replicas", Json::Int(n as i64)),
+            ("goodput_qps", Json::Num(g)),
+            ("fleet_p99_ms", Json::Num(p99)),
+            ("shed", Json::Int(report.shed() as i64)),
+            ("expired", Json::Int(report.expired() as i64)),
+            ("rerouted", Json::Int(report.rerouted as i64)),
+            ("conserves", Json::Bool(true)),
+        ]));
+    }
+    println!();
+
+    // ── Panel 2: autoscaler A/B on the same diurnal day ──────────────────
+    // Admission shedding (the autoscaler's scale-out signal) needs an
+    // explicit queue-delay budget; both arms get the identical one.
+    let admit = track.with_admission(AdmissionPolicy::for_sla(&SlaSpec::p99(sla), 1.0));
+    let ab = |autoscaler: Option<AutoscalerPolicy>| {
+        let pool: Vec<ServingRuntime> = (0..POOL).map(|_| replica(admit)).collect();
+        let fleet_cfg = FleetConfig {
+            epoch: SimDuration::from_millis(50),
+            initial_replicas: 1,
+            autoscaler,
+            ..FleetConfig::default()
+        };
+        let report = run_virtual_fleet(&pool, Some(&cache), &fleet_cfg, &trace, offered);
+        assert!(report.conserves(), "autoscaler A/B: conservation law");
+        report
+    };
+    let scaled = ab(Some(AutoscalerPolicy {
+        max_replicas: POOL,
+        ..AutoscalerPolicy::default()
+    }));
+    let fixed = ab(None);
+    println!(
+        "autoscaler A/B (pool {POOL}, start 1): on  -> goodput {:.1} QPS, shed {}, \
+         {} scale-outs / {} scale-ins, peak {} active",
+        scaled.goodput().value(),
+        scaled.shed(),
+        scaled.scale_outs,
+        scaled.scale_ins,
+        scaled.peak_active,
+    );
+    println!(
+        "                                      off -> goodput {:.1} QPS, shed {}, 1 active",
+        fixed.goodput().value(),
+        fixed.shed(),
+    );
+    assert!(
+        scaled.scale_outs > 0,
+        "the diurnal ramp must trigger scale-out"
+    );
+    assert!(
+        scaled.goodput().value() > fixed.goodput().value(),
+        "autoscaling must beat the fixed single replica on the diurnal day"
+    );
+    println!();
+
+    // ── Panel 3: failover acceptance bound ───────────────────────────────
+    let failover_offered = Qps(250.0);
+    let supervised = base_cfg(duration)
+        .with_deadline(DeadlinePolicy::enforce(sla))
+        .with_supervisor(SupervisorPolicy::active(SimDuration::from_millis(2)));
+    let failover_ratio = |plan: FaultPlan| {
+        let pool = vec![replica(supervised.with_faults(plan)), replica(supervised)];
+        let flat = QueryStream::paper(failover_offered, SEED).take_until(SimTime::ZERO + duration);
+        let cfg = |failover| FleetConfig {
+            epoch: SimDuration::from_millis(50),
+            initial_replicas: 1,
+            failover,
+            drain_after: 1,
+            ..FleetConfig::default()
+        };
+        let with = run_virtual_fleet(&pool, None, &cfg(true), &flat, failover_offered);
+        let without = run_virtual_fleet(&pool, None, &cfg(false), &flat, failover_offered);
+        assert!(with.conserves() && without.conserves());
+        assert!(with.drained == 1 && with.rerouted > 0);
+        (
+            with.goodput().value(),
+            without.goodput().value(),
+            with.goodput().value() / without.goodput().value().max(1e-9),
+        )
+    };
+    let (stall_with, stall_without, stall_ratio) = failover_ratio(node_hang(duration));
+    let (panic_with, panic_without, panic_ratio) = failover_ratio(node_death(duration));
+    println!(
+        "failover at {:.0} QPS: whole-node stall {stall_without:.1} -> {stall_with:.1} QPS \
+         ({stall_ratio:.2}x), whole-node panic {panic_without:.1} -> {panic_with:.1} QPS \
+         ({panic_ratio:.2}x)",
+        failover_offered.value(),
+    );
+    assert!(
+        stall_ratio >= 2.0,
+        "failover goodput must be >= 2x no-failover under the stall scenario: \
+         {stall_with:.1} vs {stall_without:.1} ({stall_ratio:.2}x)"
+    );
+    println!();
+
+    // ── Panel 4: cross-validation against the core::cluster static plan ──
+    // Probe the single replica's SLA-bounded capacity the way the offline
+    // profiler would: best goodput across a rate ladder.
+    let mut capacity = 0.0f64;
+    for rate in [600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0] {
+        let g = replica(track).serve(Qps(rate)).goodput.value();
+        capacity = capacity.max(g);
+    }
+    let table = EfficiencyTable::from_entries([(
+        (ModelKind::DlrmRmc1, ServerType::T2),
+        EfficiencyEntry {
+            qps: Qps(capacity),
+            power: Watts(250.0),
+            plan: PlacementPlan::CpuModel {
+                threads: 2,
+                workers: 2,
+                batch: 256,
+            },
+        },
+    )]);
+    let mut fleet = Fleet::empty();
+    fleet.set(ServerType::T2, 2 * POOL as u32);
+    let peak_trace = vec![WorkloadTrace {
+        model: ModelKind::DlrmRmc1,
+        load: [(0.0, peak.value())].into_iter().collect(),
+    }];
+    let mut solver = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let static_plan = run_online(&fleet, &table, &peak_trace, &mut solver, None);
+    let planned = static_plan.intervals[0].activated as usize;
+    assert!(static_plan.intervals[0].feasible, "static plan must solve");
+    // The smallest swept fleet that met demand: >= 90% of the diurnal
+    // day's mean offered load completed on time.
+    let measured = (1..=POOL)
+        .find(|&n| sweep_goodput[n - 1] >= 0.90 * offered.value())
+        .expect("some swept fleet must meet the diurnal demand");
+    println!(
+        "planner x-val: measured replica capacity {capacity:.0} QPS; core::cluster \
+         provisions {planned} T2s for the {:.0} QPS peak; smallest swept fleet meeting \
+         90% of mean demand: {measured}",
+        peak.value(),
+    );
+    assert!(
+        measured.abs_diff(planned) <= 1,
+        "fleet measurement and static plan disagree: swept {measured} vs planned {planned}"
+    );
+
+    let doc = Json::obj([
+        ("figure", Json::str("fig_fleet")),
+        ("generated_by", Json::str("cargo bench --bench fig_fleet")),
+        (
+            "scenario",
+            Json::obj([
+                ("model", Json::str(model.name())),
+                ("scale", Json::str("production")),
+                ("server", Json::str("T2")),
+                ("plan", Json::str("CpuModel{threads:2,workers:2,batch:256}")),
+                ("trace", Json::str("diurnal service-A day, 24 segments")),
+                ("peak_qps", Json::Num(peak.value())),
+                ("mean_qps", Json::Num(offered.value())),
+                ("duration_s", Json::Num(duration.as_secs_f64())),
+                ("clock", Json::str("virtual")),
+                ("seed", Json::Int(SEED as i64)),
+                ("fast_mode", Json::Bool(fast)),
+            ]),
+        ),
+        ("replica_sweep", Json::Arr(sweep_rows)),
+        (
+            "autoscaler_ab",
+            Json::obj([
+                ("pool", Json::Int(POOL as i64)),
+                ("on_goodput_qps", Json::Num(scaled.goodput().value())),
+                ("on_shed", Json::Int(scaled.shed() as i64)),
+                ("on_scale_outs", Json::Int(scaled.scale_outs as i64)),
+                ("on_scale_ins", Json::Int(scaled.scale_ins as i64)),
+                ("on_peak_active", Json::Int(scaled.peak_active as i64)),
+                ("off_goodput_qps", Json::Num(fixed.goodput().value())),
+                ("off_shed", Json::Int(fixed.shed() as i64)),
+            ]),
+        ),
+        (
+            "planner_xval",
+            Json::obj([
+                ("replica_capacity_qps", Json::Num(capacity)),
+                ("planned_servers", Json::Int(planned as i64)),
+                ("measured_min_replicas", Json::Int(measured as i64)),
+                ("tolerance", Json::Int(1)),
+                ("pass", Json::Bool(measured.abs_diff(planned) <= 1)),
+            ]),
+        ),
+        (
+            "acceptance",
+            Json::obj([
+                ("failover_offered_qps", Json::Num(failover_offered.value())),
+                ("stall_with_failover_qps", Json::Num(stall_with)),
+                ("stall_without_failover_qps", Json::Num(stall_without)),
+                ("stall_ratio", Json::Num(stall_ratio)),
+                ("panic_with_failover_qps", Json::Num(panic_with)),
+                ("panic_without_failover_qps", Json::Num(panic_without)),
+                ("panic_ratio", Json::Num(panic_ratio)),
+                ("threshold", Json::Num(2.0)),
+                ("pass", Json::Bool(stall_ratio >= 2.0)),
+            ]),
+        ),
+    ]);
+    let path = write_bench_json("BENCH_fleet.json", &doc);
+    println!("wrote {}", path.display());
+}

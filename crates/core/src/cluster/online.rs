@@ -45,6 +45,35 @@ pub fn estimate_over_provision(traces: &[WorkloadTrace]) -> f64 {
     r
 }
 
+/// Which load signal each interval's provisioning request uses.
+///
+/// The paper's cluster manager provisions against the *offered* load
+/// forecast for the interval; a reactive manager only has the load it
+/// *observed* over the previous interval. The gap between the two is the
+/// cost of reacting late on a rising diurnal edge (covered by the
+/// over-provision headroom `R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProvisionSource {
+    /// Provision interval `i` against trace point `i` (the forecast-led
+    /// default; [`run_online`] is exactly this path).
+    #[default]
+    Offered,
+    /// Provision interval `i` against trace point `i - 1` (the load the
+    /// manager had actually observed when it re-solved). Interval 0 has no
+    /// history and uses point 0.
+    Observed,
+}
+
+impl ProvisionSource {
+    /// The trace index interval `i` provisions against.
+    fn index(self, i: usize) -> usize {
+        match self {
+            ProvisionSource::Offered => i,
+            ProvisionSource::Observed => i.saturating_sub(1),
+        }
+    }
+}
+
 /// Outcome of one provisioning interval.
 #[derive(Debug, Clone)]
 pub struct IntervalOutcome {
@@ -143,6 +172,31 @@ pub fn run_online(
     run_online_with_fleet(|_| fleet.clone(), table, traces, policy, over_provision)
 }
 
+/// Like [`run_online`], but provisioning against the chosen load signal
+/// ([`ProvisionSource::Offered`] reproduces [`run_online`] bit for bit;
+/// `tests/provision_source.rs` pins that).
+///
+/// # Panics
+///
+/// Panics if traces are empty or their time grids disagree.
+pub fn run_online_sourced(
+    fleet: &Fleet,
+    table: &EfficiencyTable,
+    traces: &[WorkloadTrace],
+    policy: &mut dyn Provisioner,
+    over_provision: Option<f64>,
+    source: ProvisionSource,
+) -> ClusterRunReport {
+    run_online_impl(
+        |_| fleet.clone(),
+        table,
+        traces,
+        policy,
+        over_provision,
+        source,
+    )
+}
+
 /// Like [`run_online`], but the available fleet may change per interval —
 /// the failure-injection hook (rack loss, maintenance drains, capacity
 /// arriving mid-day). `fleet_at(i)` returns the fleet for interval `i`.
@@ -157,6 +211,24 @@ pub fn run_online_with_fleet(
     policy: &mut dyn Provisioner,
     over_provision: Option<f64>,
 ) -> ClusterRunReport {
+    run_online_impl(
+        fleet_at,
+        table,
+        traces,
+        policy,
+        over_provision,
+        ProvisionSource::Offered,
+    )
+}
+
+fn run_online_impl(
+    fleet_at: impl Fn(usize) -> Fleet,
+    table: &EfficiencyTable,
+    traces: &[WorkloadTrace],
+    policy: &mut dyn Provisioner,
+    over_provision: Option<f64>,
+    source: ProvisionSource,
+) -> ClusterRunReport {
     assert!(!traces.is_empty(), "need at least one workload trace");
     let steps = traces[0].load.len();
     assert!(
@@ -169,7 +241,8 @@ pub fn run_online_with_fleet(
     let mut intervals = Vec::with_capacity(steps);
     for i in 0..steps {
         let t_secs = traces[0].load.points()[i].0;
-        let loads: Vec<f64> = traces.iter().map(|t| t.load.points()[i].1).collect();
+        let j = source.index(i);
+        let loads: Vec<f64> = traces.iter().map(|t| t.load.points()[j].1).collect();
         let fleet = fleet_at(i);
         let req = ProvisionRequest {
             fleet: &fleet,

@@ -1,0 +1,157 @@
+//! Regression tests for `ProvisionSource` (`core::cluster::online`):
+//!
+//! * The `Offered` path must stay bit-identical to `run_online` — the
+//!   enum refactor is not allowed to move a single interval.
+//! * The `Observed` path provisions interval `i` against trace point
+//!   `i - 1`: its power series is the offered one delayed by one interval,
+//!   so it under-provisions on every rising diurnal edge.
+
+use hercules_common::units::{Qps, Watts};
+use hercules_core::cluster::online::{
+    run_online, run_online_sourced, ProvisionSource, WorkloadTrace,
+};
+use hercules_core::cluster::policies::SolverChoice;
+use hercules_core::profiler::{EfficiencyEntry, EfficiencyTable};
+use hercules_core::HerculesScheduler;
+use hercules_hw::server::{Fleet, ServerType};
+use hercules_model::zoo::ModelKind;
+use hercules_sim::PlacementPlan;
+use hercules_workload::diurnal::DiurnalPattern;
+
+fn table() -> EfficiencyTable {
+    let entry = |qps: f64, power: f64| EfficiencyEntry {
+        qps: Qps(qps),
+        power: Watts(power),
+        plan: PlacementPlan::CpuModel {
+            threads: 1,
+            workers: 1,
+            batch: 64,
+        },
+    };
+    EfficiencyTable::from_entries([
+        ((ModelKind::DlrmRmc1, ServerType::T2), entry(1000.0, 250.0)),
+        ((ModelKind::DlrmRmc1, ServerType::T3), entry(1960.0, 280.0)),
+        ((ModelKind::DlrmRmc2, ServerType::T2), entry(700.0, 250.0)),
+        ((ModelKind::DlrmRmc2, ServerType::T3), entry(1600.0, 280.0)),
+    ])
+}
+
+fn traces() -> Vec<WorkloadTrace> {
+    vec![
+        WorkloadTrace {
+            model: ModelKind::DlrmRmc1,
+            load: DiurnalPattern::service_a(Qps(20_000.0)).sample(1, 60, 0.0, 1),
+        },
+        WorkloadTrace {
+            model: ModelKind::DlrmRmc2,
+            load: DiurnalPattern::service_b(Qps(15_000.0)).sample(1, 60, 0.0, 2),
+        },
+    ]
+}
+
+fn fleet() -> Fleet {
+    let mut fleet = Fleet::empty();
+    fleet.set(ServerType::T2, 100).set(ServerType::T3, 15);
+    fleet
+}
+
+#[test]
+fn offered_source_is_bit_identical_to_run_online() {
+    let table = table();
+    let tr = traces();
+    for r in [None, Some(0.05)] {
+        let mut a = HerculesScheduler::new(SolverChoice::BranchAndBound);
+        let base = run_online(&fleet(), &table, &tr, &mut a, r);
+        let mut b = HerculesScheduler::new(SolverChoice::BranchAndBound);
+        let sourced =
+            run_online_sourced(&fleet(), &table, &tr, &mut b, r, ProvisionSource::Offered);
+        assert_eq!(
+            format!("{base:?}"),
+            format!("{sourced:?}"),
+            "Offered must reproduce run_online bit for bit (R = {r:?})"
+        );
+    }
+}
+
+#[test]
+fn observed_source_lags_offered_by_one_interval() {
+    let table = table();
+    let tr = traces();
+    let mut a = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let offered = run_online_sourced(
+        &fleet(),
+        &table,
+        &tr,
+        &mut a,
+        Some(0.05),
+        ProvisionSource::Offered,
+    );
+    let mut b = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let observed = run_online_sourced(
+        &fleet(),
+        &table,
+        &tr,
+        &mut b,
+        Some(0.05),
+        ProvisionSource::Observed,
+    );
+    assert_eq!(offered.intervals.len(), observed.intervals.len());
+    // Interval 0 has no history: both provision against point 0.
+    assert_eq!(observed.intervals[0].power_w, offered.intervals[0].power_w);
+    // Every later interval re-solves against the previous point, so the
+    // observed run's power/activation equals the offered run's, delayed by
+    // one interval — while the timestamps stay on the real grid.
+    for i in 1..observed.intervals.len() {
+        assert_eq!(observed.intervals[i].t_secs, offered.intervals[i].t_secs);
+        assert_eq!(
+            observed.intervals[i].power_w,
+            offered.intervals[i - 1].power_w,
+            "interval {i}"
+        );
+        assert_eq!(
+            observed.intervals[i].activated,
+            offered.intervals[i - 1].activated,
+            "interval {i}"
+        );
+    }
+}
+
+#[test]
+fn observed_source_under_provisions_rising_edges() {
+    // On a strictly rising load step the reactive manager buys strictly
+    // less power than the forecast-led one at the steepest interval.
+    let tr = vec![WorkloadTrace {
+        model: ModelKind::DlrmRmc1,
+        load: (0..6)
+            .map(|i| (i as f64 * 60.0, 2_000.0 + 3_000.0 * i as f64))
+            .collect(),
+    }];
+    let table = table();
+    let mut a = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let offered = run_online_sourced(
+        &fleet(),
+        &table,
+        &tr,
+        &mut a,
+        Some(0.0),
+        ProvisionSource::Offered,
+    );
+    let mut b = HerculesScheduler::new(SolverChoice::BranchAndBound);
+    let observed = run_online_sourced(
+        &fleet(),
+        &table,
+        &tr,
+        &mut b,
+        Some(0.0),
+        ProvisionSource::Observed,
+    );
+    assert!(
+        (1..tr[0].load.len())
+            .all(|i| observed.intervals[i].power_w <= offered.intervals[i].power_w),
+        "reactive provisioning can never exceed forecast-led on a ramp"
+    );
+    assert!(
+        (1..tr[0].load.len()).any(|i| observed.intervals[i].power_w < offered.intervals[i].power_w),
+        "the ramp must expose the one-interval lag"
+    );
+}

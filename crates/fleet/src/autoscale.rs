@@ -1,0 +1,153 @@
+//! Telemetry-driven autoscaling (ROADMAP carried-over item): scale out on
+//! windowed shed, scale in when per-stage queue-wait tails collapse, with
+//! hysteresis (cooldown epochs) and a per-move migration cost.
+//!
+//! The decision function is deliberately pure and monotone in offered
+//! pressure — more shed never moves the decision toward scale-in
+//! (`tests/fleet_props.rs` pins this) — so fleet behaviour stays
+//! predictable under the deterministic virtual clock.
+
+/// One epoch's scaling decision. Ordered by capacity direction:
+/// `In < Hold < Out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScaleDecision {
+    /// Retire one replica (tails collapsed, nothing shed).
+    In,
+    /// No change.
+    Hold,
+    /// Activate one replica (windowed shed crossed the threshold).
+    Out,
+}
+
+/// Autoscaler thresholds and damping.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalerPolicy {
+    /// Scale out when the fleet sheds at least this many queries in one
+    /// epoch.
+    pub shed_out: u64,
+    /// Scale in only when nothing was shed *and* the worst per-stage
+    /// queue-wait p99 across the fleet sits below this (seconds).
+    pub wait_in_s: f64,
+    /// Epochs to hold after any move (hysteresis: a scale-out is not
+    /// re-evaluated while its effect is still propagating).
+    pub cooldown_epochs: u32,
+    /// Epochs a newly activated replica warms before shards migrate onto
+    /// it (the per-move migration cost).
+    pub migration_cost_epochs: u32,
+    /// Never scale in below this many active replicas.
+    pub min_replicas: usize,
+    /// Never scale out past this many active replicas.
+    pub max_replicas: usize,
+}
+
+impl Default for AutoscalerPolicy {
+    fn default() -> Self {
+        AutoscalerPolicy {
+            shed_out: 1,
+            wait_in_s: 1e-3,
+            cooldown_epochs: 2,
+            migration_cost_epochs: 1,
+            min_replicas: 1,
+            max_replicas: usize::MAX,
+        }
+    }
+}
+
+impl AutoscalerPolicy {
+    /// The pure decision: monotone in `shed` (for any fixed tail, a higher
+    /// shed count never yields a smaller decision) and anti-monotone in
+    /// the tail (a higher tail never yields scale-in when a lower one
+    /// held). `wait_p99` is `None` when no batch ran in the window —
+    /// treated as an idle fleet (eligible for scale-in) only when nothing
+    /// was shed.
+    pub fn decide(&self, shed: u64, wait_p99: Option<f64>) -> ScaleDecision {
+        if shed >= self.shed_out {
+            return ScaleDecision::Out;
+        }
+        if shed == 0 && wait_p99.map_or(true, |w| w < self.wait_in_s) {
+            return ScaleDecision::In;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+/// Damped decision state: applies cooldown and replica-count bounds on top
+/// of [`AutoscalerPolicy::decide`].
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    policy: AutoscalerPolicy,
+    cooldown: u32,
+}
+
+impl Autoscaler {
+    pub fn new(policy: AutoscalerPolicy) -> Self {
+        Autoscaler {
+            policy,
+            cooldown: 0,
+        }
+    }
+
+    pub fn policy(&self) -> &AutoscalerPolicy {
+        &self.policy
+    }
+
+    /// One epoch step. `active` counts currently serving replicas,
+    /// `standby` the activatable spares. Returns the damped decision; the
+    /// caller performs the move and the autoscaler charges its own
+    /// cooldown.
+    pub fn step(
+        &mut self,
+        shed: u64,
+        wait_p99: Option<f64>,
+        active: usize,
+        standby: usize,
+    ) -> ScaleDecision {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return ScaleDecision::Hold;
+        }
+        let decision = self.policy.decide(shed, wait_p99);
+        match decision {
+            ScaleDecision::Out if active < self.policy.max_replicas && standby > 0 => {
+                self.cooldown = self.policy.cooldown_epochs + self.policy.migration_cost_epochs;
+                ScaleDecision::Out
+            }
+            ScaleDecision::In if active > self.policy.min_replicas && active > 1 => {
+                self.cooldown = self.policy.cooldown_epochs;
+                ScaleDecision::In
+            }
+            _ => ScaleDecision::Hold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooldown_damps_consecutive_moves() {
+        let mut a = Autoscaler::new(AutoscalerPolicy {
+            cooldown_epochs: 2,
+            migration_cost_epochs: 0,
+            ..AutoscalerPolicy::default()
+        });
+        assert_eq!(a.step(10, None, 1, 3), ScaleDecision::Out);
+        assert_eq!(a.step(10, None, 2, 2), ScaleDecision::Hold);
+        assert_eq!(a.step(10, None, 2, 2), ScaleDecision::Hold);
+        assert_eq!(a.step(10, None, 2, 2), ScaleDecision::Out);
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut a = Autoscaler::new(AutoscalerPolicy {
+            min_replicas: 2,
+            max_replicas: 2,
+            cooldown_epochs: 0,
+            migration_cost_epochs: 0,
+            ..AutoscalerPolicy::default()
+        });
+        assert_eq!(a.step(100, None, 2, 5), ScaleDecision::Hold);
+        assert_eq!(a.step(0, Some(0.0), 2, 5), ScaleDecision::Hold);
+    }
+}

@@ -1,0 +1,66 @@
+//! # hercules-fleet
+//!
+//! The fleet serving layer (ROADMAP item 1): Hercules' capacity plans only
+//! pay off *at scale*, when a fleet of heterogeneous servers absorbs
+//! diurnal, millions-of-users traffic. This crate closes that gap over the
+//! single-server [`ServingRuntime`](hercules_runtime::ServingRuntime):
+//!
+//! - [`shard`] — shard-aware placement. Queries hash to shards by id;
+//!   shards map to replicas weighted by the cache planner's per-table
+//!   hot-row budgets ([`CacheModel`](hercules_hw::cost::CacheModel)), so
+//!   the replica holding a table's hot rows serves its traffic.
+//! - [`autoscale`] — telemetry-driven scaling: out on windowed shed, in
+//!   on collapsed queue-wait tails, damped by hysteresis and a per-move
+//!   migration cost. The decision function is pure and monotone in
+//!   offered pressure.
+//! - [`fleet`] — the deterministic virtual fleet: an epoch-driven control
+//!   loop over stepped replicas
+//!   ([`VirtStepper`](hercules_runtime::VirtStepper)) with replica-level
+//!   failover — a replica whose supervisor reports dead workers or
+//!   sustained L2+ degrade drains while its shard traffic re-routes
+//!   inside the window the single-node degradation ladder buys.
+//!
+//! Determinism is load-bearing: `run_virtual_fleet` is a pure function of
+//! its inputs, two runs are bitwise identical, and a single-replica fleet
+//! reproduces the bare runtime's report bit for bit. The property suite
+//! in `tests/fleet_props.rs` pins all of it, plus fleet-wide conservation
+//! and failover-beats-no-failover goodput under injected faults. The
+//! wall-clock analogue lives in `examples/serve_fleet.rs`.
+//!
+//! ```no_run
+//! use hercules_common::units::{Qps, SimDuration, SimTime};
+//! use hercules_fleet::{run_virtual_fleet, FleetConfig};
+//! use hercules_hw::server::ServerType;
+//! use hercules_model::zoo::{ModelKind, ModelScale, RecModel};
+//! use hercules_runtime::{RuntimeConfig, ServingRuntime};
+//! use hercules_sim::{NmpLutCache, PlacementPlan, SimConfig};
+//! use hercules_workload::generator::QueryStream;
+//!
+//! let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+//! let plan = PlacementPlan::CpuModel { threads: 10, workers: 2, batch: 256 };
+//! let cfg = RuntimeConfig::from_sim(&SimConfig::default());
+//! let luts = NmpLutCache::new();
+//! let pool: Vec<ServingRuntime> = (0..3)
+//!     .map(|_| {
+//!         ServingRuntime::build(&model, ServerType::T2.spec(), &plan, cfg, &luts).unwrap()
+//!     })
+//!     .collect();
+//! let offered = Qps(1200.0);
+//! let queries = QueryStream::paper(offered, cfg.seed)
+//!     .take_until(SimTime::ZERO + cfg.duration);
+//! let fleet = FleetConfig {
+//!     initial_replicas: 3,
+//!     ..FleetConfig::default()
+//! };
+//! let report = run_virtual_fleet(&pool, None, &fleet, &queries, offered);
+//! assert!(report.conserves());
+//! println!("fleet goodput = {:.0} QPS", report.goodput().value());
+//! ```
+
+pub mod autoscale;
+pub mod fleet;
+pub mod shard;
+
+pub use autoscale::{Autoscaler, AutoscalerPolicy, ScaleDecision};
+pub use fleet::{run_virtual_fleet, FleetConfig, FleetReport, ReplicaReport};
+pub use shard::{shard_of, ShardMap};

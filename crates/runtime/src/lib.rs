@@ -88,3 +88,4 @@ pub use telemetry::{
     thread_allocs, CountingAlloc, StageKind, TelemetrySlot, WorkerSnap, WorkerTelemetry,
 };
 pub use trace::{chrome_trace_json, SpanKind, TraceEvent, TraceRing, TraceSampler};
+pub use virt::VirtStepper;

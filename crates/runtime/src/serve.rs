@@ -126,6 +126,54 @@ impl ServingRuntime {
         }
     }
 
+    /// Serves an explicit arrival trace (a router's per-replica sub-stream,
+    /// a recorded trace, …) instead of the paper-shaped seeded stream,
+    /// under the configured clock. Arrivals must be non-decreasing and lie
+    /// within the configured horizon. `offered` is recorded in the report
+    /// verbatim — pass the stream's nominal rate (e.g.
+    /// [`QueryTrace::mean_rate`](hercules_workload::trace::QueryTrace::mean_rate)).
+    pub fn serve_trace(&self, queries: &[Query], offered: Qps) -> RuntimeReport {
+        self.serve_trace_observed(queries, offered, None)
+    }
+
+    /// [`ServingRuntime::serve_trace`] watched by a live observer (see
+    /// [`ServingRuntime::serve_observed`]).
+    pub fn serve_trace_observed(
+        &self,
+        queries: &[Query],
+        offered: Qps,
+        observer: Option<&mut RuntimeObserver>,
+    ) -> RuntimeReport {
+        match self.cfg.clock {
+            ClockMode::Virtual => virt::run_trace(
+                &self.topo,
+                &self.server,
+                &self.cfg,
+                queries,
+                offered,
+                observer,
+            ),
+            ClockMode::Wall { .. } => wall::run_trace(
+                &self.topo,
+                &self.server,
+                &self.cfg,
+                queries,
+                offered,
+                self.arena_for(&self.cfg),
+                observer,
+            ),
+        }
+    }
+
+    /// An incrementally-driven virtual-clock executor over this runtime's
+    /// topology: the fleet router injects arrivals epoch by epoch and
+    /// samples the control plane between epochs. Ignores the configured
+    /// clock mode (the stepper is always virtual; wall-clock fleets run
+    /// [`ServingRuntime::serve_trace`] per epoch instead).
+    pub fn stepper(&self) -> crate::VirtStepper<'_> {
+        crate::VirtStepper::new(&self.topo, &self.server, &self.cfg)
+    }
+
     /// The embedding arena backing real gathers under `cfg`, building it
     /// on first use; `None` when the config gathers synthetically or the
     /// plan has no front (sparse) stage to gather in.

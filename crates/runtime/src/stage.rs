@@ -96,6 +96,22 @@ impl QueryTable {
         }
     }
 
+    /// Appends one slot for a query injected after construction (the
+    /// stepped executor feeds arrivals incrementally instead of upfront).
+    /// Returns the new query's index.
+    pub fn push(&mut self, arrival: SimTime) -> u32 {
+        let idx = self.slots.len() as u32;
+        self.slots.push(QuerySlot {
+            arrival,
+            remaining: AtomicU32::new(0),
+            queuing_ns: AtomicU64::new(0),
+            loading_ns: AtomicU64::new(0),
+            inference_ns: AtomicU64::new(0),
+            flags: AtomicU32::new(0),
+        });
+        idx
+    }
+
     pub fn arrival(&self, query: u32) -> SimTime {
         self.slots[query as usize].arrival
     }

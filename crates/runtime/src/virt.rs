@@ -16,6 +16,7 @@ use hercules_common::units::{Qps, SimDuration, SimTime};
 use hercules_hw::cost::pcie_transfer_time;
 use hercules_hw::server::ServerSpec;
 use hercules_sim::{split_sizes, Topology};
+use hercules_workload::query::Query;
 
 use crate::admission::AdmissionController;
 use crate::config::RuntimeConfig;
@@ -86,10 +87,10 @@ struct Batch {
 }
 
 struct Exec<'a> {
-    stages: &'a Stages<'a>,
+    stages: Stages<'a>,
     cfg: &'a RuntimeConfig,
     window: RunWindow,
-    table: &'a QueryTable,
+    table: QueryTable,
     sizes: Vec<u32>,
     heap: BinaryHeap<Entry>,
     seq: u64,
@@ -128,6 +129,88 @@ struct Exec<'a> {
 }
 
 impl<'a> Exec<'a> {
+    /// Assembles a quiescent executor over `queries` (which may be empty:
+    /// the stepped executor injects arrivals incrementally instead).
+    fn build(
+        topo: &'a Topology,
+        server: &'a ServerSpec,
+        cfg: &'a RuntimeConfig,
+        queries: &[Query],
+    ) -> Exec<'a> {
+        let window = RunWindow::of(cfg);
+        let table = QueryTable::new(queries);
+        let stages = Stages::of(topo, server);
+
+        let (per_sub_s, parallelism) = stages.ingress_estimate();
+        let admission = AdmissionController::new(&cfg.admission, per_sub_s, parallelism);
+
+        let front_threads = stages.front.map_or(0, |(_, t)| t);
+        let (back_threads, gpu_ctxs) = match stages.back {
+            BackKind::None => (0, 0),
+            BackKind::Host { threads, .. } => (threads, 0),
+            BackKind::Gpu { ctxs, .. } => (0, ctxs),
+        };
+        let book = FaultBook::build(&cfg.faults, front_threads, back_threads, gpu_ctxs);
+        let controls = RuntimeControls::new(cfg.batch.max_delay);
+        let supervised = cfg.supervisor.enabled;
+        let supervisor = supervised.then(|| {
+            Supervisor::new(
+                cfg.supervisor,
+                Arc::clone(&controls),
+                per_sub_s,
+                cfg.batch.max_delay,
+            )
+        });
+        let faulty = !book.is_empty() || supervised;
+        let deadline_drop = cfg.deadline.drop_expired && cfg.deadline.budget.is_some();
+
+        let tracing = cfg.trace.enabled();
+        let telem = |stage: StageKind, n: u32| -> Vec<WorkerTelemetry> {
+            (0..n)
+                .map(|w| {
+                    let t = WorkerTelemetry::new(stage, w, cfg.duration);
+                    if tracing {
+                        t.with_trace(cfg.trace.ring_capacity as usize)
+                    } else {
+                        t
+                    }
+                })
+                .collect()
+        };
+
+        Exec {
+            stages,
+            cfg,
+            window,
+            table,
+            sizes: queries.iter().map(|q| q.size).collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            admission,
+            front_queue: VecDeque::new(),
+            front_free: (0..front_threads).collect(),
+            front_telem: telem(StageKind::Front, front_threads),
+            back_queue: VecDeque::new(),
+            back_free: (0..back_threads).collect(),
+            back_telem: telem(StageKind::Back, back_threads),
+            fuse_buf: VecDeque::new(),
+            fuse_items: 0,
+            flush_armed: None,
+            gpu_free: (0..gpu_ctxs).collect(),
+            gpu_telem: telem(StageKind::Gpu, gpu_ctxs),
+            pcie_free: SimTime::ZERO,
+            batches: Vec::new(),
+            sampler: TraceSampler::new(cfg.seed, cfg.trace.sample_one_in),
+            admit_ring: tracing.then(|| TraceRing::with_capacity(cfg.trace.ring_capacity as usize)),
+            book,
+            controls,
+            supervisor,
+            faulty,
+            supervised,
+            deadline_drop,
+        }
+    }
+
     fn push(&mut self, time: SimTime, ev: Ev) {
         self.seq += 1;
         self.heap.push(Entry {
@@ -550,69 +633,7 @@ impl<'a> Exec<'a> {
             if now > self.window.horizon {
                 break;
             }
-            match entry.ev {
-                Ev::Arrival(q) => self.arrive(q, now),
-                Ev::FrontDone { worker, sub } => {
-                    self.front_free.push(worker);
-                    let forwarded = Sub { ready: now, ..sub };
-                    match self.stages.back {
-                        BackKind::None => self.complete(StageKind::Front, worker, &sub, now),
-                        BackKind::Host { .. } => {
-                            self.back_queue.push_back(forwarded);
-                            self.schedule_back(now);
-                        }
-                        BackKind::Gpu { .. } => {
-                            self.enqueue_fused(forwarded);
-                            self.try_launch_gpu(now);
-                        }
-                    }
-                    self.schedule_front(now);
-                }
-                Ev::BackDone { worker, sub } => {
-                    self.back_free.push(worker);
-                    self.complete(StageKind::Back, worker, &sub, now);
-                    self.schedule_back(now);
-                }
-                Ev::Flush => {
-                    if self.flush_armed.is_some_and(|t| t <= now) {
-                        self.flush_armed = None;
-                    }
-                    self.try_launch_gpu(now);
-                }
-                Ev::LoadDone { ctx, batch } => {
-                    let BackKind::Gpu { ctxs, .. } = self.stages.back else {
-                        unreachable!("LoadDone only fires with a GPU stage");
-                    };
-                    let b = &self.batches[batch];
-                    let (items, compute) = (b.items, b.compute);
-                    let wait = b
-                        .load_start
-                        .saturating_since(b.subs.first().map_or(b.load_start, |s| s.ready));
-                    let cost = {
-                        let BackKind::Gpu { oracle, .. } = self.stages.back else {
-                            unreachable!()
-                        };
-                        oracle.service_cost(items)
-                    };
-                    self.gpu_telem[ctx as usize].record_gpu(now, wait, items, &cost, ctxs);
-                    self.push(now + compute, Ev::GpuDone { ctx, batch });
-                }
-                Ev::GpuDone { ctx, batch } => {
-                    self.gpu_free.push(ctx);
-                    let load_start = self.batches[batch].load_start;
-                    let load_dur = self.batches[batch].load_dur;
-                    let compute = self.batches[batch].compute;
-                    let subs = std::mem::take(&mut self.batches[batch].subs);
-                    for sub in &subs {
-                        let wait = load_start.saturating_since(sub.ready);
-                        self.table.add_queuing(sub, wait);
-                        self.table.add_loading(sub, load_dur);
-                        self.table.add_inference(sub, compute);
-                        self.complete(StageKind::Gpu, ctx, sub, now);
-                    }
-                    self.try_launch_gpu(now);
-                }
-            }
+            self.handle(entry.ev, now);
         }
         if let Some(o) = obs {
             // Final boundary at the horizon, after the loop quiesces: the
@@ -622,9 +643,78 @@ impl<'a> Exec<'a> {
             o.finish();
         }
     }
+
+    /// Processes one popped event. Shared by the batch loop ([`Exec::run`])
+    /// and the stepped executor ([`VirtStepper`]), so the two cannot drift.
+    fn handle(&mut self, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::Arrival(q) => self.arrive(q, now),
+            Ev::FrontDone { worker, sub } => {
+                self.front_free.push(worker);
+                let forwarded = Sub { ready: now, ..sub };
+                match self.stages.back {
+                    BackKind::None => self.complete(StageKind::Front, worker, &sub, now),
+                    BackKind::Host { .. } => {
+                        self.back_queue.push_back(forwarded);
+                        self.schedule_back(now);
+                    }
+                    BackKind::Gpu { .. } => {
+                        self.enqueue_fused(forwarded);
+                        self.try_launch_gpu(now);
+                    }
+                }
+                self.schedule_front(now);
+            }
+            Ev::BackDone { worker, sub } => {
+                self.back_free.push(worker);
+                self.complete(StageKind::Back, worker, &sub, now);
+                self.schedule_back(now);
+            }
+            Ev::Flush => {
+                if self.flush_armed.is_some_and(|t| t <= now) {
+                    self.flush_armed = None;
+                }
+                self.try_launch_gpu(now);
+            }
+            Ev::LoadDone { ctx, batch } => {
+                let BackKind::Gpu { ctxs, .. } = self.stages.back else {
+                    unreachable!("LoadDone only fires with a GPU stage");
+                };
+                let b = &self.batches[batch];
+                let (items, compute) = (b.items, b.compute);
+                let wait = b
+                    .load_start
+                    .saturating_since(b.subs.first().map_or(b.load_start, |s| s.ready));
+                let cost = {
+                    let BackKind::Gpu { oracle, .. } = self.stages.back else {
+                        unreachable!()
+                    };
+                    oracle.service_cost(items)
+                };
+                self.gpu_telem[ctx as usize].record_gpu(now, wait, items, &cost, ctxs);
+                self.push(now + compute, Ev::GpuDone { ctx, batch });
+            }
+            Ev::GpuDone { ctx, batch } => {
+                self.gpu_free.push(ctx);
+                let load_start = self.batches[batch].load_start;
+                let load_dur = self.batches[batch].load_dur;
+                let compute = self.batches[batch].compute;
+                let subs = std::mem::take(&mut self.batches[batch].subs);
+                for sub in &subs {
+                    let wait = load_start.saturating_since(sub.ready);
+                    self.table.add_queuing(sub, wait);
+                    self.table.add_loading(sub, load_dur);
+                    self.table.add_inference(sub, compute);
+                    self.complete(StageKind::Gpu, ctx, sub, now);
+                }
+                self.try_launch_gpu(now);
+            }
+        }
+    }
 }
 
-/// Runs the virtual-clock executor and assembles the report.
+/// Runs the virtual-clock executor on the paper-shaped seeded stream and
+/// assembles the report.
 pub(crate) fn run(
     topo: &Topology,
     server: &ServerSpec,
@@ -634,77 +724,26 @@ pub(crate) fn run(
 ) -> RuntimeReport {
     let window = RunWindow::of(cfg);
     let queries = arrivals(cfg, offered, &window);
-    let table = QueryTable::new(&queries);
-    let stages = Stages::of(topo, server);
+    run_trace(topo, server, cfg, &queries, offered, observer)
+}
 
-    let (per_sub_s, parallelism) = stages.ingress_estimate();
-    let admission = AdmissionController::new(&cfg.admission, per_sub_s, parallelism);
-
-    let front_threads = stages.front.map_or(0, |(_, t)| t);
-    let (back_threads, gpu_ctxs) = match stages.back {
-        BackKind::None => (0, 0),
-        BackKind::Host { threads, .. } => (threads, 0),
-        BackKind::Gpu { ctxs, .. } => (0, ctxs),
-    };
-    let book = FaultBook::build(&cfg.faults, front_threads, back_threads, gpu_ctxs);
-    let controls = RuntimeControls::new(cfg.batch.max_delay);
-    let supervised = cfg.supervisor.enabled;
-    let supervisor = supervised.then(|| {
-        Supervisor::new(
-            cfg.supervisor,
-            Arc::clone(&controls),
-            per_sub_s,
-            cfg.batch.max_delay,
-        )
-    });
-    let faulty = !book.is_empty() || supervised;
-    let deadline_drop = cfg.deadline.drop_expired && cfg.deadline.budget.is_some();
-
-    let tracing = cfg.trace.enabled();
-    let telem = |stage: StageKind, n: u32| -> Vec<WorkerTelemetry> {
-        (0..n)
-            .map(|w| {
-                let t = WorkerTelemetry::new(stage, w, cfg.duration);
-                if tracing {
-                    t.with_trace(cfg.trace.ring_capacity as usize)
-                } else {
-                    t
-                }
-            })
-            .collect()
-    };
-
-    let mut exec = Exec {
-        stages: &stages,
-        cfg,
-        window,
-        table: &table,
-        sizes: queries.iter().map(|q| q.size).collect(),
-        heap: BinaryHeap::new(),
-        seq: 0,
-        admission,
-        front_queue: VecDeque::new(),
-        front_free: (0..front_threads).collect(),
-        front_telem: telem(StageKind::Front, front_threads),
-        back_queue: VecDeque::new(),
-        back_free: (0..back_threads).collect(),
-        back_telem: telem(StageKind::Back, back_threads),
-        fuse_buf: VecDeque::new(),
-        fuse_items: 0,
-        flush_armed: None,
-        gpu_free: (0..gpu_ctxs).collect(),
-        gpu_telem: telem(StageKind::Gpu, gpu_ctxs),
-        pcie_free: SimTime::ZERO,
-        batches: Vec::new(),
-        sampler: TraceSampler::new(cfg.seed, cfg.trace.sample_one_in),
-        admit_ring: tracing.then(|| TraceRing::with_capacity(cfg.trace.ring_capacity as usize)),
-        book,
-        controls,
-        supervisor,
-        faulty,
-        supervised,
-        deadline_drop,
-    };
+/// Runs the virtual-clock executor over an explicit arrival trace (the
+/// router's per-replica sub-streams, recorded traces, …) and assembles the
+/// report. Arrivals must be non-decreasing and lie within the horizon.
+pub(crate) fn run_trace(
+    topo: &Topology,
+    server: &ServerSpec,
+    cfg: &RuntimeConfig,
+    queries: &[Query],
+    offered: Qps,
+    observer: Option<&mut RuntimeObserver>,
+) -> RuntimeReport {
+    let window = RunWindow::of(cfg);
+    assert!(
+        queries.last().map_or(true, |q| q.arrival <= window.horizon),
+        "trace arrivals must lie within the configured horizon"
+    );
+    let mut exec = Exec::build(topo, server, cfg, queries);
 
     let measured_arrivals = queries
         .iter()
@@ -721,7 +760,7 @@ pub(crate) fn run(
         measured_arrivals,
         admitted: exec.admission.admitted(),
         shed: exec.admission.shed(),
-        in_flight: table.in_flight(),
+        in_flight: exec.table.in_flight(),
         wall_elapsed_s: None,
         arena: None,
         cache_predicted: None,
@@ -735,4 +774,198 @@ pub(crate) fn run(
         .chain(exec.gpu_telem)
         .collect();
     assemble(server, cfg, workers, totals)
+}
+
+/// Sequence-number floor for service events in the stepped executor.
+///
+/// The batch loop pushes all N arrivals up front (seqs `1..=N`) before any
+/// service event exists, so every arrival outranks every same-instant
+/// service event. The stepper receives arrivals incrementally, interleaved
+/// with service-event creation; giving arrivals their own low sequence
+/// space (injection order, starting at 1) and starting service events here
+/// reproduces the same total order — earliest time first, arrivals before
+/// same-instant service events, each class in creation order — so a
+/// single-replica stepped run is bitwise identical to the batch loop.
+const STEP_SVC_SEQ: u64 = 1 << 40;
+
+/// An incrementally-driven virtual-clock executor: the fleet router
+/// injects arrivals epoch by epoch, advances the clock with
+/// [`step_until`](VirtStepper::step_until), samples the control plane
+/// between epochs, and assembles the standard [`RuntimeReport`] at the
+/// end. Shares [`Exec::handle`] with the batch loop, so single-replica
+/// stepped serving is bitwise identical to [`ServingRuntime::serve`]
+/// (`crates/fleet/tests/fleet_props.rs` pins this).
+///
+/// [`ServingRuntime::serve`]: crate::ServingRuntime::serve
+pub struct VirtStepper<'a> {
+    exec: Exec<'a>,
+    server: &'a ServerSpec,
+    sup: Option<Supervisor>,
+    sup_period: Option<SimDuration>,
+    sup_boundary: Option<SimTime>,
+    /// Injection-order sequence for arrivals (low sequence space).
+    arrival_seq: u64,
+    injected: u64,
+    measured: u64,
+}
+
+impl<'a> VirtStepper<'a> {
+    pub(crate) fn new(topo: &'a Topology, server: &'a ServerSpec, cfg: &'a RuntimeConfig) -> Self {
+        let mut exec = Exec::build(topo, server, cfg, &[]);
+        exec.seq = STEP_SVC_SEQ;
+        // The stepper owns supervision boundaries: the batch loop drains
+        // them lazily between events, the stepper at every step limit.
+        let sup = exec.supervisor.take();
+        let sup_period = sup.as_ref().map(Supervisor::period);
+        let sup_boundary = sup_period.map(|p| SimTime::ZERO + p);
+        VirtStepper {
+            exec,
+            server,
+            sup,
+            sup_period,
+            sup_boundary,
+            arrival_seq: 0,
+            injected: 0,
+            measured: 0,
+        }
+    }
+
+    /// Feeds one query into the ingress. Arrivals must be injected in
+    /// non-decreasing arrival order and before the clock passes them
+    /// (`step_until` limits must trail injection).
+    pub fn inject(&mut self, q: Query) {
+        debug_assert!(
+            q.arrival <= self.exec.window.horizon,
+            "injected arrival past the horizon"
+        );
+        let idx = self.exec.table.push(q.arrival);
+        self.exec.sizes.push(q.size);
+        self.arrival_seq += 1;
+        self.exec.heap.push(Entry {
+            time: q.arrival,
+            seq: self.arrival_seq,
+            ev: Ev::Arrival(idx),
+        });
+        self.injected += 1;
+        if self.exec.window.measures(q.arrival) {
+            self.measured += 1;
+        }
+    }
+
+    /// Processes every pending event strictly before `t`, firing
+    /// supervision boundaries in time order exactly as the batch loop
+    /// would. Events at or past the horizon stay queued (the batch loop
+    /// never handles them either).
+    pub fn step_until(&mut self, t: SimTime) {
+        let horizon = self.exec.window.horizon;
+        while let Some(head) = self.exec.heap.peek() {
+            if head.time >= t || head.time > horizon {
+                break;
+            }
+            let entry = self.exec.heap.pop().expect("peeked entry");
+            let now = entry.time;
+            self.drain_sup(now);
+            self.exec.handle(entry.ev, now);
+        }
+        let limit = if t < horizon { t } else { horizon };
+        self.drain_sup(limit);
+    }
+
+    /// Fires supervision boundaries strictly before `limit` (and strictly
+    /// before the horizon), matching the batch loop's lazy drain. Safe to
+    /// call at step limits as well as event times: the executor state is
+    /// unchanged between the last handled event and the boundary, so the
+    /// supervisor observes the same plane either way.
+    fn drain_sup(&mut self, limit: SimTime) {
+        let Some(period) = self.sup_period else {
+            return;
+        };
+        while let Some(b) = self.sup_boundary {
+            if b >= limit || b >= self.exec.window.horizon {
+                break;
+            }
+            if let Some(sv) = self.sup.as_mut() {
+                self.exec.sup_tick(sv, b);
+            }
+            self.sup_boundary = Some(b + period);
+        }
+    }
+
+    /// Snapshots the control plane into `obs` at instant `t` (the fleet's
+    /// per-replica observer boundary).
+    pub fn observe(&mut self, obs: &mut RuntimeObserver, t: SimTime) {
+        obs.tick(self.exec.plane_state(t));
+    }
+
+    /// Queries admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.exec.admission.admitted()
+    }
+
+    /// Queries shed so far (admission + backpressure + forced).
+    pub fn shed(&self) -> u64 {
+        self.exec.admission.shed()
+    }
+
+    /// Queries admitted but not yet retired.
+    pub fn in_flight(&self) -> u64 {
+        self.exec.table.in_flight()
+    }
+
+    pub fn suspect_workers(&self) -> u32 {
+        self.exec.controls.suspect_count()
+    }
+
+    pub fn dead_workers(&self) -> u32 {
+        self.exec.controls.dead_count()
+    }
+
+    pub fn degrade_level(&self) -> u8 {
+        self.exec.controls.level()
+    }
+
+    pub fn horizon(&self) -> SimTime {
+        self.exec.window.horizon
+    }
+
+    /// Drains every remaining event (the batch loop's quiescing tail),
+    /// takes the final observer boundary at the horizon, and assembles the
+    /// standard report. `offered` is recorded verbatim — the caller knows
+    /// the per-replica offered share, the stepper only saw arrivals.
+    pub fn finish(mut self, offered: Qps, observer: Option<&mut RuntimeObserver>) -> RuntimeReport {
+        let horizon = self.exec.window.horizon;
+        while let Some(entry) = self.exec.heap.pop() {
+            let now = entry.time;
+            self.drain_sup(now);
+            if now > horizon {
+                break;
+            }
+            self.exec.handle(entry.ev, now);
+        }
+        if let Some(o) = observer {
+            o.tick(self.exec.plane_state(horizon));
+            o.finish();
+        }
+        let totals = RunTotals {
+            offered,
+            total_arrivals: self.injected,
+            measured_arrivals: self.measured,
+            admitted: self.exec.admission.admitted(),
+            shed: self.exec.admission.shed(),
+            in_flight: self.exec.table.in_flight(),
+            wall_elapsed_s: None,
+            arena: None,
+            cache_predicted: None,
+            dispatch_trace: self.exec.admit_ring.take(),
+            join_failures: 0,
+        };
+        let workers: Vec<WorkerTelemetry> = self
+            .exec
+            .front_telem
+            .into_iter()
+            .chain(self.exec.back_telem)
+            .chain(self.exec.gpu_telem)
+            .collect();
+        assemble(self.server, self.exec.cfg, workers, totals)
+    }
 }

@@ -229,12 +229,32 @@ pub(crate) fn run(
     arena: Option<&EmbeddingArena>,
     observer: Option<&mut RuntimeObserver>,
 ) -> RuntimeReport {
+    let window = RunWindow::of(cfg);
+    let queries = arrivals(cfg, offered, &window);
+    run_trace(topo, server, cfg, &queries, offered, arena, observer)
+}
+
+/// Runs the wall-clock executor over an explicit arrival trace (the fleet
+/// router's per-replica sub-streams) instead of the paper-shaped seeded
+/// stream. Arrivals must be non-decreasing and lie within the horizon.
+pub(crate) fn run_trace(
+    topo: &Topology,
+    server: &ServerSpec,
+    cfg: &RuntimeConfig,
+    queries: &[Query],
+    offered: Qps,
+    arena: Option<&EmbeddingArena>,
+    observer: Option<&mut RuntimeObserver>,
+) -> RuntimeReport {
     let ClockMode::Wall { time_scale } = cfg.clock else {
         unreachable!("wall executor only runs in wall mode");
     };
     let window = RunWindow::of(cfg);
-    let queries = arrivals(cfg, offered, &window);
-    let table = QueryTable::new(&queries);
+    assert!(
+        queries.last().map_or(true, |q| q.arrival <= window.horizon),
+        "trace arrivals must lie within the configured horizon"
+    );
+    let table = QueryTable::new(queries);
     let stages = Stages::of(topo, server);
 
     let (per_sub_s, parallelism) = stages.ingress_estimate();
@@ -270,7 +290,7 @@ pub(crate) fn run(
         gpu_ctxs as usize,
     );
 
-    prewarm_oracles(&stages, &queries);
+    prewarm_oracles(&stages, queries);
 
     // Fault plane: resolve the plan against the pools once, share the
     // control block between workers, dispatcher, and supervisor. With the

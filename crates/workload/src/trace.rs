@@ -147,6 +147,45 @@ impl QueryTrace {
         Ok(QueryTrace { queries })
     }
 
+    /// Shards the trace across `n` sub-traces with `route(query) % n`
+    /// picking the destination. Each sub-trace preserves the original
+    /// arrival order (and therefore stays a valid trace); every query lands
+    /// in exactly one shard with its id, arrival time, and size untouched.
+    /// This is the fleet router's correctness precondition: splitting and
+    /// [`merge`](QueryTrace::merge)-ing must reconstruct the exact query
+    /// multiset (`tests/trace_props.rs` pins this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn split_by<F>(&self, n: usize, mut route: F) -> Vec<QueryTrace>
+    where
+        F: FnMut(&Query) -> u64,
+    {
+        assert!(n > 0, "cannot split a trace across zero shards");
+        let mut shards: Vec<Vec<Query>> = vec![Vec::new(); n];
+        for q in &self.queries {
+            shards[(route(q) % n as u64) as usize].push(*q);
+        }
+        shards
+            .into_iter()
+            .map(|queries| QueryTrace { queries })
+            .collect()
+    }
+
+    /// Merges sub-traces back into one arrival-ordered trace (k-way merge;
+    /// ties broken by query id, then size, so the merge of a
+    /// [`split_by`](QueryTrace::split_by) is deterministic regardless of
+    /// shard order).
+    pub fn merge(parts: &[QueryTrace]) -> QueryTrace {
+        let mut queries: Vec<Query> = parts
+            .iter()
+            .flat_map(|p| p.queries.iter().copied())
+            .collect();
+        queries.sort_by_key(|q| (q.arrival, q.id.0, q.size));
+        QueryTrace { queries }
+    }
+
     /// Replays the trace shifted to start at `offset` (id order preserved).
     pub fn replay_from(&self, offset: SimTime) -> impl Iterator<Item = Query> + '_ {
         let base = self.queries.first().map_or(SimTime::ZERO, |q| q.arrival);

@@ -1,0 +1,310 @@
+//! Fleet serving: shard-aware routing across replicated serving runtimes.
+//!
+//! One server is never the story for recommendation inference — capacity
+//! plans pay off when a fleet absorbs the load. This example runs the
+//! `hercules-fleet` layer three ways over one seeded query trace:
+//!
+//! 1. **Virtual fleet** — `run_virtual_fleet` drives N stepped replicas
+//!    through the epoch control loop (shard routing weighted by the cache
+//!    planner's hot-row budgets, health checks, failover) deterministically.
+//! 2. **Wall-clock fleet** — the identical shard map splits the identical
+//!    trace into per-replica slices, and each slice executes on real worker
+//!    threads (`ClockMode::wall()`), one replica at a time so the replicas
+//!    don't fight over host cores.
+//! 3. **Single node** — the same per-replica hardware serving the whole
+//!    trace alone, the baseline the fleet has to beat.
+//!
+//! Run with: `cargo run --release --example serve_fleet [-- --replicas <n>]
+//! [--faults stall|panic]`. Set `HERCULES_SMOKE=1` for a tiny CI-sized
+//! horizon and `HERCULES_OFFERED_QPS` to override the offered load.
+//!
+//! With `--faults <scenario>` (or `HERCULES_FAULTS`) the example instead
+//! runs the failover comparison on the deterministic fleet (the failover
+//! control plane lives in the epoch loop, so this leg is exactly
+//! reproducible): replica 0 suffers a *whole-node* fault — `stall` hangs
+//! both front workers for most of the run, `panic` kills them — while a
+//! healthy standby waits. The fleet drains the sick replica and re-routes
+//! its shards; an unprotected single node rides the same fault straight
+//! down. Both paths print a parseable `FLEET ...` summary line for CI.
+
+use hercules::common::units::{Qps, SimDuration, SimTime};
+use hercules::fleet::{run_virtual_fleet, FleetConfig, ShardMap};
+use hercules::hw::cost::{CacheModel, CacheSpec};
+use hercules::hw::server::ServerType;
+use hercules::model::zoo::{ModelKind, ModelScale, RecModel};
+use hercules::runtime::{
+    ClockMode, DeadlinePolicy, FaultPlan, RuntimeConfig, RuntimeReport, ServingRuntime, StageKind,
+    SupervisorPolicy,
+};
+use hercules::sim::{NmpLutCache, PlacementPlan, SimConfig};
+use hercules::workload::generator::QueryStream;
+use hercules::workload::query::Query;
+
+/// `--flag <value>` (or `--flag=<value>`) from argv, falling back to the
+/// environment variable `env`. Later occurrences win.
+fn flag_arg(flag: &str, env: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut found = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            found = args.next();
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            found = Some(v.to_string());
+        }
+    }
+    found.or_else(|| std::env::var(env).ok())
+}
+
+fn offered_arg(default: f64) -> Qps {
+    Qps(std::env::var("HERCULES_OFFERED_QPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|q| *q > 0.0)
+        .unwrap_or(default))
+}
+
+/// One fleet replica: the small two-front-worker node from `fig_faults`,
+/// so a whole-node fault takes out all of its healthy capacity.
+fn replica(cfg: RuntimeConfig) -> ServingRuntime {
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let plan = PlacementPlan::CpuModel {
+        threads: 2,
+        workers: 2,
+        batch: 256,
+    };
+    ServingRuntime::build(
+        &model,
+        ServerType::T2.spec(),
+        &plan,
+        cfg,
+        &NmpLutCache::new(),
+    )
+    .expect("replica plan is feasible on a T2")
+}
+
+fn base_cfg(duration: SimDuration, seed: u64) -> RuntimeConfig {
+    RuntimeConfig::from_sim(&SimConfig {
+        duration,
+        warmup_fraction: 0.15,
+        drain_margin: SimDuration::ZERO,
+        seed,
+    })
+}
+
+fn paper_trace(offered: Qps, cfg: &RuntimeConfig) -> Vec<Query> {
+    QueryStream::paper(offered, cfg.seed).take_until(SimTime::ZERO + cfg.duration)
+}
+
+fn print_replica(tag: &str, routed: u64, r: &RuntimeReport) {
+    println!(
+        "{tag:<12} routed {routed:>6}  goodput {:>7.1} QPS  p99 {:>9}  shed {:>4}  expired {:>4}",
+        r.goodput.value(),
+        r.sim.p99,
+        r.shed,
+        r.expired,
+    );
+}
+
+/// Both front workers stall at `0.25*d` for `0.60*d`: the node wedges for
+/// most of the run but never dies, so the drain signal is sustained L2+
+/// degrade on the replica's own supervision ladder.
+fn node_hang(duration: SimDuration) -> FaultPlan {
+    let at = SimTime::ZERO + duration.mul_f64(0.25);
+    let span = duration.mul_f64(0.60);
+    FaultPlan::none()
+        .with_stall(StageKind::Front, 0, at, span)
+        .with_stall(StageKind::Front, 1, at, span)
+}
+
+/// Both front workers panic at `0.40*d`: the node is permanently dead and
+/// the drain signal is the supervisor's dead-worker count.
+fn node_death(duration: SimDuration) -> FaultPlan {
+    let at = SimTime::ZERO + duration.mul_f64(0.40);
+    FaultPlan::none()
+        .with_panic(StageKind::Front, 0, at)
+        .with_panic(StageKind::Front, 1, at)
+}
+
+/// The failover comparison behind `--faults <scenario>`: a two-replica
+/// fleet (sick node + supervised standby, failover on) against an
+/// unprotected single node riding the identical whole-node fault.
+fn run_failover(scenario: &str, smoke: bool) {
+    let duration = if smoke {
+        SimDuration::from_millis(1000)
+    } else {
+        SimDuration::from_millis(2000)
+    };
+    let offered = offered_arg(250.0);
+    let faults = match scenario {
+        "stall" => node_hang(duration),
+        "panic" => node_death(duration),
+        other => {
+            eprintln!("unknown --faults scenario {other:?}; expected stall|panic");
+            std::process::exit(2);
+        }
+    };
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let sla = model.default_sla();
+    println!(
+        "fleet failover under whole-node {scenario:?} at {offered} \
+         (2x2-thread T2 replicas, {:.1}s horizon)",
+        duration.as_millis_f64() / 1e3,
+    );
+    println!();
+
+    let supervised = base_cfg(duration, 7)
+        .with_deadline(DeadlinePolicy::enforce(sla))
+        .with_supervisor(SupervisorPolicy::active(SimDuration::from_millis(2)));
+    let pool = vec![replica(supervised.with_faults(faults)), replica(supervised)];
+    let trace = paper_trace(offered, pool[0].config());
+    let fleet_cfg = FleetConfig {
+        epoch: SimDuration::from_millis(50),
+        initial_replicas: 1,
+        failover: true,
+        drain_after: 1,
+        ..FleetConfig::default()
+    };
+    let fleet = run_virtual_fleet(&pool, None, &fleet_cfg, &trace, offered);
+    assert!(fleet.conserves(), "fleet conservation law");
+    for r in &fleet.replicas {
+        let tag = if r.drained {
+            format!("replica {} !", r.index)
+        } else {
+            format!("replica {}", r.index)
+        };
+        print_replica(&tag, r.routed, &r.report);
+    }
+    println!(
+        "{:<12} drained {} replica(s), re-routed {} queries, dropped {}",
+        "", fleet.drained, fleet.rerouted, fleet.router_dropped,
+    );
+    println!();
+
+    // The baseline: one node, same fault, nobody watching — the deadline is
+    // tracked (so goodput means the same thing) but nothing drains.
+    let unprotected = base_cfg(duration, 7)
+        .with_faults(faults)
+        .with_deadline(DeadlinePolicy::track(sla));
+    let single = replica(unprotected).serve_trace(&trace, offered);
+    assert!(single.conserves(), "single-node conservation law");
+    print_replica("single node", trace.len() as u64, &single);
+    println!();
+
+    let fg = fleet.goodput().value();
+    let sg = single.goodput.value();
+    println!(
+        "goodput under whole-node {scenario:?}: unprotected single {sg:.1} QPS \
+         -> fleet with failover {fg:.1} QPS ({:.2}x)",
+        fg / sg.max(1e-9),
+    );
+    println!(
+        "FLEET scenario={scenario} replicas={} rerouted={} drained={} \
+         fleet_goodput={fg:.3} single_goodput={sg:.3}",
+        pool.len(),
+        fleet.rerouted,
+        fleet.drained,
+    );
+}
+
+/// The scale-out comparison (default path): N replicas, virtual and wall
+/// clock, against one identical node carrying the full load.
+fn run_scale(smoke: bool) {
+    let replicas: usize = flag_arg("--replicas", "HERCULES_REPLICAS")
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+    // 350 QPS per replica: each fleet member cruises, while one node
+    // carrying the whole load saturates and starts missing its SLA.
+    let offered = offered_arg(350.0 * replicas as f64);
+    let duration = if smoke {
+        SimDuration::from_millis(300)
+    } else {
+        SimDuration::from_millis(1500)
+    };
+    let model = RecModel::build(ModelKind::DlrmRmc1, ModelScale::Production);
+    let sla = model.default_sla();
+    let base = base_cfg(duration, 7).with_deadline(DeadlinePolicy::track(sla));
+    let trace = paper_trace(offered, &base);
+    // Shard weights come from the cache planner: shards standing for hot
+    // embedding tables weigh more, so placement balances cache value.
+    let cache = CacheModel::plan(CacheSpec::per_worker_mib(64), &model.tables);
+
+    println!(
+        "fleet of {replicas} (2x2-thread T2 each) vs one such node, {} at {offered} \
+         over {:.1}s ({} queries)",
+        model.name(),
+        duration.as_millis_f64() / 1e3,
+        trace.len(),
+    );
+    println!();
+
+    // 1. Deterministic virtual fleet through the epoch control loop.
+    let pool: Vec<ServingRuntime> = (0..replicas).map(|_| replica(base)).collect();
+    let fleet_cfg = FleetConfig {
+        epoch: SimDuration::from_millis(50),
+        initial_replicas: replicas,
+        ..FleetConfig::default()
+    };
+    let virt = run_virtual_fleet(&pool, Some(&cache), &fleet_cfg, &trace, offered);
+    assert!(virt.conserves(), "virtual fleet conservation law");
+    for r in &virt.replicas {
+        print_replica(&format!("virt {}", r.index), r.routed, &r.report);
+    }
+    println!(
+        "{:<12} virtual fleet goodput {:.1} QPS",
+        "",
+        virt.goodput().value()
+    );
+    println!();
+
+    // 2. The same shard map, on real threads: route the identical trace
+    //    into per-replica slices, then execute each slice on the wall
+    //    clock (sequentially — the replicas share this host's cores).
+    let map = ShardMap::place(Some(&cache), fleet_cfg.shards, replicas);
+    let mut slices: Vec<Vec<Query>> = vec![Vec::new(); replicas];
+    for q in &trace {
+        slices[map.route(q)].push(*q);
+    }
+    let wall_cfg = base.with_clock(ClockMode::wall());
+    let mut wall_goodput = 0.0;
+    for (i, slice) in slices.iter().enumerate() {
+        let share = Qps(offered.value() * slice.len() as f64 / trace.len().max(1) as f64);
+        let r = replica(wall_cfg).serve_trace(slice, share);
+        assert!(r.conserves(), "wall replica conservation law");
+        print_replica(&format!("wall {i}"), slice.len() as u64, &r);
+        wall_goodput += r.goodput.value();
+    }
+    println!("{:<12} wall-clock fleet goodput {wall_goodput:.1} QPS", "");
+    println!();
+
+    // 3. One identical node, the whole trace (also wall clock).
+    let single = replica(wall_cfg).serve_trace(&trace, offered);
+    assert!(single.conserves(), "single-node conservation law");
+    print_replica("single node", trace.len() as u64, &single);
+    println!();
+
+    println!(
+        "scale-out: single node {:.1} QPS -> fleet of {replicas} {:.1} QPS on the wall \
+         clock ({:.1} QPS virtual)",
+        single.goodput.value(),
+        wall_goodput,
+        virt.goodput().value(),
+    );
+    println!(
+        "FLEET scenario=none replicas={replicas} rerouted={} drained={} \
+         fleet_goodput={wall_goodput:.3} single_goodput={:.3}",
+        virt.rerouted,
+        virt.drained,
+        single.goodput.value(),
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("HERCULES_SMOKE").is_some();
+    if let Some(scenario) = flag_arg("--faults", "HERCULES_FAULTS") {
+        run_failover(&scenario, smoke);
+        return;
+    }
+    run_scale(smoke);
+}

@@ -5,6 +5,7 @@
 //! from the paper to modules.
 pub use hercules_common as common;
 pub use hercules_core as core;
+pub use hercules_fleet as fleet;
 pub use hercules_hw as hw;
 pub use hercules_model as model;
 pub use hercules_runtime as runtime;
